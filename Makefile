@@ -1,0 +1,28 @@
+# Convenience targets for the Sunder reproduction.
+
+PYTHON ?= python
+SCALE ?= 0.02
+
+.PHONY: install test bench repro scorecard docs clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+repro:
+	$(PYTHON) examples/reproduce_paper.py $(SCALE)
+
+scorecard:
+	$(PYTHON) -m repro experiment scorecard --scale 0.01
+
+docs:
+	$(PYTHON) scripts/generate_api_docs.py
+
+clean:
+	rm -rf results .pytest_cache src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

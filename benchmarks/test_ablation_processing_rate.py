@@ -1,0 +1,63 @@
+"""Ablation: processing rate vs throughput/density trade-off.
+
+DESIGN.md calls out the reconfigurable rate as a key design choice: more
+nibbles per cycle buys throughput at the price of extra states (fewer
+automata per device) and fewer spare rows for reporting.  This bench
+quantifies the trade-off on representative workloads.
+"""
+
+from repro.core.config import SunderConfig
+from repro.experiments.formatting import format_table
+from repro.hwmodel.pipeline import SUNDER_PIPELINE
+from repro.transform import to_rate
+from repro.workloads import generate
+
+WORKLOADS = ("Bro217", "TCP", "SPM")
+COLUMNS = [
+    ("benchmark", "Benchmark"),
+    ("rate", "Nibbles/cycle"),
+    ("gbps", "Throughput (Gbps)"),
+    ("states", "States"),
+    ("state_ratio", "States vs 8-bit"),
+    ("report_rows", "Report rows"),
+    ("report_capacity", "Report entries"),
+]
+
+
+def _sweep(scale):
+    rows = []
+    for name in WORKLOADS:
+        instance = generate(name, scale=scale, seed=0)
+        base_states = len(instance.automaton)
+        for rate in (1, 2, 4):
+            machine = to_rate(instance.automaton, rate)
+            config = SunderConfig(rate_nibbles=rate)
+            rows.append({
+                "benchmark": name,
+                "rate": rate,
+                "gbps": SUNDER_PIPELINE.operating_frequency_ghz * 4 * rate,
+                "states": len(machine),
+                "state_ratio": len(machine) / base_states,
+                "report_rows": config.report_rows,
+                "report_capacity": config.report_capacity,
+            })
+    return rows
+
+
+def test_rate_ablation(benchmark, bench_scale, save_result):
+    rows = benchmark.pedantic(
+        lambda: _sweep(min(bench_scale, 0.01)), rounds=1, iterations=1,
+    )
+    save_result(
+        "ablation_processing_rate",
+        format_table(rows, COLUMNS, title="Ablation: processing rate"),
+    )
+    by_key = {(row["benchmark"], row["rate"]): row for row in rows}
+    for name in WORKLOADS:
+        # Throughput scales linearly with rate...
+        assert by_key[(name, 4)]["gbps"] == 4 * by_key[(name, 1)]["gbps"]
+        # ...while 4-nibble costs more states than 2-nibble.
+        assert by_key[(name, 4)]["states"] >= by_key[(name, 2)]["states"] * 0.8
+    # Reporting space shrinks as the rate grows (16 rows per extra nibble).
+    assert by_key[(WORKLOADS[0], 1)]["report_rows"] == 240
+    assert by_key[(WORKLOADS[0], 4)]["report_rows"] == 192

@@ -1,0 +1,44 @@
+"""Ablation: summarization batch size vs worst-case slowdown.
+
+The paper summarizes in 16-row batches (the multi-row activation limit
+is 64 rows).  This bench sweeps the batch size at 100% reporting rate.
+"""
+
+from repro.core import SunderConfig, sensitivity_slowdown
+from repro.experiments.formatting import format_table
+
+COLUMNS = [
+    ("batch_rows", "Batch rows"),
+    ("slowdown", "Worst-case slowdown"),
+    ("no_summarization", "Without summarization"),
+]
+
+
+def _sweep():
+    rows = []
+    for batch in (1, 2, 4, 8, 16, 32, 64):
+        config = SunderConfig(report_bits=12, summarize_batch_rows=batch)
+        rows.append({
+            "batch_rows": batch,
+            "slowdown": sensitivity_slowdown(1.0, summarize=True,
+                                             config=config),
+            "no_summarization": sensitivity_slowdown(1.0, summarize=False,
+                                                     config=config),
+        })
+    return rows
+
+
+def test_summarization_ablation(benchmark, save_result):
+    rows = benchmark(_sweep)
+    save_result(
+        "ablation_summarization",
+        format_table(rows, COLUMNS, title="Ablation: summarization batch size"),
+    )
+    slowdowns = [row["slowdown"] for row in rows]
+    # Bigger batches compress more rows per NOR: monotone improvement.
+    assert slowdowns == sorted(slowdowns, reverse=True)
+    # The paper's 16-row batch already sits near the floor.
+    by_batch = {row["batch_rows"]: row for row in rows}
+    assert by_batch[16]["slowdown"] < by_batch[1]["slowdown"]
+    assert by_batch[16]["slowdown"] < 2.0
+    assert by_batch[16]["no_summarization"] > 5.0

@@ -1,0 +1,64 @@
+"""Workload characterization: active-state pressure and report dynamics.
+
+ANMLZoo's companion characterization (IISWC'16) profiles enabled/active
+state counts per cycle — the quantity that makes NFAs slow in software
+(memory accesses scale with it) and irrelevant to the in-memory designs
+(every state is evaluated in parallel).  This bench tabulates it for the
+synthetic suite alongside the report-stream analytics.
+"""
+
+from repro.experiments.formatting import format_table
+from repro.sim import dynamic_statistics
+from repro.sim.analysis import summarize_analysis
+from repro.workloads import BENCHMARK_NAMES, generate
+
+COLUMNS = [
+    ("benchmark", "Benchmark"),
+    ("states", "States"),
+    ("avg_active", "Avg active"),
+    ("max_active", "Max active"),
+    ("active_pct", "Active %"),
+    ("median_gap", "Median gap"),
+    ("max_burst", "Max burst"),
+]
+
+
+def _experiment(scale):
+    rows = []
+    for name in BENCHMARK_NAMES:
+        instance = generate(name, scale=scale, seed=0)
+        stats = dynamic_statistics(
+            instance.automaton, list(instance.input_bytes)
+        )
+        analysis = summarize_analysis(stats["recorder"], stats["cycles"])
+        n_states = len(instance.automaton)
+        rows.append({
+            "benchmark": name,
+            "states": n_states,
+            "avg_active": stats["avg_active_states"],
+            "max_active": stats["max_active_states"],
+            "active_pct": 100.0 * stats["avg_active_states"] / n_states,
+            "median_gap": analysis["median_gap"],
+            "max_burst": analysis["max_burst"],
+        })
+    return rows
+
+
+def test_activity_characterization(benchmark, bench_scale, save_result):
+    rows = benchmark.pedantic(
+        lambda: _experiment(min(bench_scale, 0.005)), rounds=1, iterations=1,
+    )
+    save_result(
+        "characterization_activity",
+        format_table(rows, COLUMNS, title="Workload characterization"),
+    )
+    by_name = {row["benchmark"]: row for row in rows}
+    # The software-cost driver: active fractions are small but non-zero
+    # for hot workloads, and essentially zero for cold signature sets.
+    assert by_name["ClamAV"]["avg_active"] < 1.0
+    assert by_name["Snort"]["avg_active"] >= 1.0   # hot rules always alive
+    # SPM's self-looping gap states accumulate: the haystack of active
+    # states the paper's Table 1 burstiness comes from.
+    assert by_name["SPM"]["max_active"] > by_name["Bro217"]["max_active"]
+    # Burst column mirrors Table 1's reports-per-report-cycle shape.
+    assert by_name["Brill"]["max_burst"] >= 5

@@ -1,0 +1,67 @@
+"""Extension bench: end-to-end energy estimate per workload.
+
+Not a paper artifact — the paper reports only per-subarray read power
+(Table 2) — but the models imply an energy story: reporting energy is a
+negligible share of total dynamic energy because it reuses the matching
+arrays' Port 1.
+"""
+
+from repro.core import SunderConfig, place
+from repro.experiments.formatting import format_table
+from repro.hwmodel import analytic_energy
+from repro.sim import dynamic_statistics, stream_for
+from repro.transform import to_rate
+from repro.workloads import generate
+
+WORKLOADS = ("Bro217", "TCP", "Snort", "SPM")
+COLUMNS = [
+    ("benchmark", "Benchmark"),
+    ("pus", "PUs"),
+    ("matching_nj", "Matching (nJ)"),
+    ("interconnect_nj", "Interconnect (nJ)"),
+    ("reporting_nj", "Reporting (nJ)"),
+    ("per_byte_pj", "pJ/byte"),
+]
+
+
+def _experiment(scale):
+    rows = []
+    for name in WORKLOADS:
+        instance = generate(name, scale=scale, seed=0)
+        strided = to_rate(instance.automaton, 4)
+        vectors, limit = stream_for(strided, instance.input_bytes)
+        stats = dynamic_statistics(strided, vectors, position_limit=limit)
+        config = SunderConfig(rate_nibbles=4)
+        placement = place(strided, config)
+        pus = len(placement.pus_used())
+        report = analytic_energy(
+            cycles=stats["cycles"],
+            pus=pus,
+            report_cycles=stats["report_cycles"],
+        )
+        rows.append({
+            "benchmark": name,
+            "pus": pus,
+            "matching_nj": report.matching_nj,
+            "interconnect_nj": report.interconnect_nj,
+            "reporting_nj": report.reporting_nj,
+            "per_byte_pj": report.per_byte_pj(len(instance.input_bytes)),
+        })
+    return rows
+
+
+def test_energy_breakdown(benchmark, bench_scale, save_result):
+    rows = benchmark.pedantic(
+        lambda: _experiment(min(bench_scale, 0.01)), rounds=1, iterations=1,
+    )
+    save_result(
+        "extension_energy",
+        format_table(rows, COLUMNS, title="Extension: dynamic energy",
+                     float_format="%.3f"),
+    )
+    for row in rows:
+        total = (row["matching_nj"] + row["interconnect_nj"]
+                 + row["reporting_nj"])
+        # Reporting reuses the matching arrays: tiny energy share even for
+        # the densest reporter.
+        assert row["reporting_nj"] < 0.05 * total, row["benchmark"]

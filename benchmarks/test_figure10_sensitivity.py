@@ -1,0 +1,16 @@
+"""Bench F10: regenerate Figure 10 (reporting-rate sensitivity sweep)."""
+
+from repro.experiments import figure10
+
+
+def test_figure10(benchmark, save_result):
+    rows = benchmark(figure10.run)
+    save_result("figure10_sensitivity", figure10.render(rows))
+    by_pct = {row["report_cycle_pct"]: row for row in rows}
+    # Paper anchors: negligible below 5%, 7x worst case, 1.4x summarized.
+    assert by_pct[5]["slowdown"] < 1.05
+    assert 6.0 <= by_pct[100]["slowdown"] <= 8.0
+    assert 1.2 <= by_pct[100]["slowdown_summarized"] <= 1.6
+    # Summarization helps at every point of the sweep.
+    for row in rows:
+        assert row["slowdown_summarized"] <= row["slowdown"] + 1e-9

@@ -1,0 +1,27 @@
+"""Bench F8: regenerate Figure 8 (accelerator throughput comparison).
+
+Paper's headline speedups for Sunder: 280x over the 50nm AP, 22x over a
+14nm-projected AP, 10x over Cache Automaton, 4x over Impala (all with
+AP-style reporting charged to the baselines).
+"""
+
+from repro.experiments import figure8
+
+
+def test_figure8(benchmark, bench_scale, save_result):
+    rows = benchmark.pedantic(
+        lambda: figure8.run(scale=min(bench_scale, 0.01), seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result("figure8_throughput", figure8.render(rows))
+    by_name = {row["architecture"]: row for row in rows}
+
+    # Ordering and rough magnitudes (within ~2x of the paper).
+    assert by_name["AP (50nm)"]["sunder_speedup_ap"] > 100     # paper 280x
+    assert by_name["AP (14nm)"]["sunder_speedup_ap"] > 8       # paper 22x
+    assert by_name["CA"]["sunder_speedup_ap"] > 4              # paper 10x
+    assert by_name["Impala"]["sunder_speedup_ap"] > 1.5        # paper 4x
+    # RAD reporting narrows every gap but never closes it.
+    for name in ("AP (50nm)", "AP (14nm)", "CA"):
+        row = by_name[name]
+        assert 1.0 < row["sunder_speedup_rad"] < row["sunder_speedup_ap"]

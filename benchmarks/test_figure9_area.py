@@ -1,0 +1,19 @@
+"""Bench F9: regenerate Figure 9 (area for 32K STEs)."""
+
+import pytest
+
+from repro.experiments import figure9
+
+
+def test_figure9(benchmark, save_result):
+    rows = benchmark(figure9.run)
+    save_result("figure9_area", figure9.render(rows))
+    by_name = {row["architecture"]: row for row in rows}
+    # Sunder is the smallest despite fusing reporting into matching
+    # (paper ratios: AP 2.1x, Impala 1.6x, CA 1.5x).
+    assert by_name["AP"]["ratio_to_sunder"] == pytest.approx(2.1, abs=0.05)
+    assert by_name["Impala"]["ratio_to_sunder"] > 1.2
+    assert by_name["CA"]["ratio_to_sunder"] > 1.1
+    # Sunder's reporting share is tiny (paper: 2% circuitry overhead).
+    sunder = by_name["Sunder"]
+    assert sunder["reporting_mm2"] < 0.05 * sunder["total_mm2"]

@@ -1,0 +1,72 @@
+"""Motivation bench: why software DFAs fail on accelerator workloads.
+
+The paper's Section 1 argument in numbers: NFAs execute slowly in
+software (memory accesses scale with active states) while DFAs blow up
+on the very pattern families the benchmarks use (Dotstar).  The
+in-memory architectures evaluate every state in parallel each cycle —
+which is the point.
+"""
+
+from repro.baselines.software import determinize, software_cost_model
+from repro.errors import CapacityError
+from repro.experiments.formatting import format_table
+from repro.regex import compile_ruleset
+from repro.sim import dynamic_statistics
+
+COLUMNS = [
+    ("patterns", "Dotstar patterns"),
+    ("nfa_states", "NFA states"),
+    ("dfa_states", "DFA states"),
+    ("dfa_mb", "DFA table (MB)"),
+    ("nfa_accesses", "NFA accesses/byte"),
+]
+
+
+def _dotstar_patterns(count):
+    return ["%s.*%s" % (chr(97 + i) * 2, chr(110 + i) * 2)
+            for i in range(count)]
+
+
+def _experiment(max_dfa_states=20_000):
+    rows = []
+    import random
+    rng = random.Random(0)
+    data = bytes(rng.choice(b"abcdefnopqrs") for _ in range(2_000))
+    for count in (1, 2, 4, 6, 8, 10):
+        machine = compile_ruleset(_dotstar_patterns(count))
+        stats = dynamic_statistics(machine, list(data))
+        try:
+            dfa = determinize(machine, max_states=max_dfa_states)
+            dfa_states = dfa.num_states
+            dfa_mb = dfa.table_bytes() / 1e6
+        except CapacityError:
+            dfa_states = None
+            dfa_mb = None
+        costs = software_cost_model(machine, stats["avg_active_states"])
+        rows.append({
+            "patterns": count,
+            "nfa_states": len(machine),
+            "dfa_states": dfa_states,
+            "dfa_mb": dfa_mb,
+            "nfa_accesses": costs["nfa_accesses_per_byte"],
+        })
+    return rows
+
+
+def test_dfa_blowup(benchmark, save_result):
+    rows = benchmark.pedantic(_experiment, rounds=1, iterations=1)
+    save_result(
+        "motivation_dfa_blowup",
+        format_table(rows, COLUMNS,
+                     title="Motivation: DFA subset blowup on Dotstar rules"),
+    )
+    # NFA size grows linearly with the ruleset...
+    nfa_sizes = [row["nfa_states"] for row in rows]
+    assert nfa_sizes == sorted(nfa_sizes)
+    assert nfa_sizes[-1] < nfa_sizes[0] * 15
+    # ...while the DFA grows exponentially until it exceeds the cap.
+    measured = [row["dfa_states"] for row in rows if row["dfa_states"]]
+    assert len(measured) >= 2
+    growth = measured[-1] / measured[0]
+    assert growth > 2 ** (len(measured) - 1) / 2
+    assert rows[-1]["dfa_states"] is None  # blowup observed

@@ -1,0 +1,14 @@
+"""The capstone bench: every headline claim of the paper, graded."""
+
+from repro.experiments import scorecard
+
+
+def test_scorecard(benchmark, bench_scale, save_result):
+    claims = benchmark.pedantic(
+        lambda: scorecard.build_scorecard(scale=min(bench_scale, 0.01)),
+        rounds=1, iterations=1,
+    )
+    text = scorecard.render(claims)
+    save_result("scorecard", text)
+    failed = [claim.name for claim in claims if not claim.passed]
+    assert not failed, "claims outside acceptance bands: %s" % failed

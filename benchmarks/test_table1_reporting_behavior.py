@@ -1,0 +1,17 @@
+"""Bench T1: regenerate Table 1 (reporting behaviour of all 19 benchmarks)."""
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, bench_scale, save_result):
+    rows = benchmark.pedantic(
+        lambda: table1.run(scale=bench_scale, seed=0), rounds=1, iterations=1,
+    )
+    save_result("table1_reporting_behavior", table1.render(rows))
+    assert len(rows) == 19
+    by_name = {row["benchmark"]: row for row in rows}
+    # Headline behaviours the paper's analysis rests on:
+    assert by_name["Snort"]["report_cycle_pct"] > 85          # ~every cycle
+    assert by_name["SPM"]["reports_per_report_cycle"] > 10    # dense bursts
+    assert by_name["ClamAV"]["reports"] == 0                  # silent
+    assert by_name["Brill"]["reports_per_report_cycle"] > 5   # bursty

@@ -1,0 +1,10 @@
+"""Bench T2: regenerate Table 2 (subarray circuit parameters)."""
+
+from repro.experiments import table2
+
+
+def test_table2(benchmark, save_result):
+    rows, derived = benchmark(table2.run)
+    save_result("table2_subarray_params", table2.render(rows, derived))
+    assert len(rows) == 3
+    assert 2.0 < derived["area_ratio_8t_over_6t"] < 2.3

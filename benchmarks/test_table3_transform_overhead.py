@@ -1,0 +1,24 @@
+"""Bench T3: regenerate Table 3 (state/transition overhead per rate)."""
+
+from repro.experiments import table3
+from repro.workloads import PAPER_TABLE3_AVERAGES
+
+
+def test_table3(benchmark, bench_scale, save_result):
+    rows, averages = benchmark.pedantic(
+        lambda: table3.run(scale=min(bench_scale, 0.01), seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result("table3_transform_overhead", table3.render(rows, averages))
+    # Shape: 1-nibble costs the most states, 2-nibble is ~free, 4-nibble
+    # sits between (paper: 3.1x / 1.0x / 1.2x).
+    assert averages["states_1"] > averages["states_4"] > 0.8
+    assert 0.8 < averages["states_2"] < 1.5
+    assert averages["states_1"] >= 1.5
+    # Transitions follow the same ordering (paper: 4.5x / 1.0x / 1.8x).
+    assert averages["transitions_1"] > averages["transitions_2"]
+    paper = PAPER_TABLE3_AVERAGES["state_ratio"]
+    # Stay within a factor of ~2 of the paper's averages at every rate.
+    for rate in (1, 2, 4):
+        ratio = averages["states_%d" % rate] / paper[rate]
+        assert 0.4 < ratio < 2.5, rate

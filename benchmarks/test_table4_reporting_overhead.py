@@ -1,0 +1,35 @@
+"""Bench T4: regenerate Table 4 (reporting overheads, all architectures).
+
+This is the paper's central result: Sunder's in-place reporting is
+near-free while AP-style reporting costs up to 46x, and RAD only helps
+sparse reporters.
+"""
+
+from repro.experiments import table4
+
+
+def test_table4(benchmark, bench_scale, save_result):
+    rows, averages = benchmark.pedantic(
+        lambda: table4.run(scale=min(bench_scale, 0.01), seed=0),
+        rounds=1, iterations=1,
+    )
+    save_result("table4_reporting_overhead", table4.render(rows, averages))
+    by_name = {row["benchmark"]: row for row in rows}
+
+    # Sunder: near-zero overhead everywhere (paper: <= 1.06x).
+    for row in rows:
+        assert row["sunder_overhead"] < 1.10, row["benchmark"]
+        assert row["sunder_fifo_overhead"] <= row["sunder_overhead"] + 1e-9
+
+    # Only heavy reporters flush; silent benchmarks never do.
+    for name in ("Dotstar03", "ExactMatch", "ClamAV", "Hamming"):
+        assert by_name[name]["sunder_flushes"] == 0, name
+    assert by_name["Snort"]["sunder_flushes"] > 0
+    assert by_name["SPM"]["sunder_flushes"] > 0
+
+    # AP: Snort is the disaster case (paper: 46x); dense SPM also hurts.
+    assert by_name["Snort"]["ap_overhead"] > 20
+    assert by_name["SPM"]["ap_overhead"] > 2
+    # RAD rescues sparse reporting but cannot beat Sunder.
+    assert by_name["Snort"]["rad_overhead"] < by_name["Snort"]["ap_overhead"] / 2
+    assert averages["ap_overhead"] > averages["rad_overhead"] > averages["sunder_fifo_overhead"]

@@ -1,0 +1,15 @@
+"""Bench T5: regenerate Table 5 (pipeline delays and frequencies)."""
+
+import pytest
+
+from repro.experiments import table5
+
+
+def test_table5(benchmark, save_result):
+    rows = benchmark(table5.run)
+    save_result("table5_frequency", table5.render(rows))
+    for row in rows:
+        if row["paper_operating_ghz"] is not None:
+            assert row["operating_frequency_ghz"] == pytest.approx(
+                row["paper_operating_ghz"], rel=0.05
+            ), row["architecture"]

@@ -1,0 +1,51 @@
+"""Interop: exchange automata with the ANML/MNRL ecosystem.
+
+ANML is the Micron AP's XML format (and ANMLZoo's); MNRL is its JSON
+successor.  This example compiles a ruleset, exports both formats,
+re-imports them, and proves behaviour is preserved — including a strided
+machine, which only MNRL can carry (ANML has no vector symbols).
+
+Run:  python examples/anml_interop.py
+"""
+
+import tempfile
+
+from repro.automata import anml, mnrl, outline
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, stream_for
+from repro.transform import to_rate
+
+
+def main():
+    ruleset = compile_ruleset([("virus[0-9]{2}", "sig-a"),
+                               ("trojan!", "sig-b")])
+    print(outline(ruleset, max_states=8))
+    data = b"xx virus42 yy trojan! zz"
+
+    # --- ANML round trip (byte automata only) --------------------------
+    with tempfile.NamedTemporaryFile("w", suffix=".anml", delete=False) as f:
+        anml_path = f.name
+    anml.dump(ruleset, anml_path)
+    reloaded = anml.load(anml_path)
+    want = BitsetEngine(ruleset).run(list(data)).positions()
+    got = BitsetEngine(reloaded).run(list(data)).positions()
+    print("\nANML round trip: match ends %s == %s -> %s"
+          % (want, got, want == got))
+
+    # --- MNRL round trip (any arity, including strided machines) -------
+    strided = to_rate(ruleset, 4)
+    with tempfile.NamedTemporaryFile("w", suffix=".mnrl", delete=False) as f:
+        mnrl_path = f.name
+    mnrl.dump(strided, mnrl_path)
+    reloaded4 = mnrl.load(mnrl_path)
+    vectors, limit = stream_for(strided, data)
+    want4 = BitsetEngine(strided).run(vectors, position_limit=limit).positions()
+    got4 = BitsetEngine(reloaded4).run(vectors, position_limit=limit).positions()
+    print("MNRL round trip (4-nibble machine): nibble positions %s == %s -> %s"
+          % (want4, got4, want4 == got4))
+
+    print("\nFiles written:\n  %s\n  %s" % (anml_path, mnrl_path))
+
+
+if __name__ == "__main__":
+    main()

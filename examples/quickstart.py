@@ -1,0 +1,58 @@
+"""Quickstart: compile patterns, transform them, and run them on Sunder.
+
+The end-to-end flow of the library in ~40 lines:
+
+1. compile regexes into a homogeneous NFA,
+2. transform it to 4-nibble (16-bit/cycle) processing,
+3. place it on a bit-faithful Sunder device,
+4. stream input and read the reports back out of the
+   in-subarray reporting regions.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import SunderConfig, SunderDevice
+from repro.regex import compile_ruleset
+from repro.sim import stream_for
+from repro.transform import to_rate
+
+
+def main():
+    # 1. A small ruleset.  Report codes identify which rule matched.
+    ruleset = compile_ruleset([
+        ("GET /admin", "http-admin-probe"),
+        ("root:[^\\n]*:0:0:", "passwd-leak"),
+        ("[0-9]{3}-[0-9]{2}-[0-9]{4}", "ssn-pattern"),
+    ])
+    print("Compiled ruleset:", ruleset.summary())
+
+    # 2. Nibble transformation + temporal striding to 16 bits/cycle.
+    machine = to_rate(ruleset, 4)
+    print("After 4-nibble transform:", machine.summary())
+
+    # 3. Configure a Sunder device (defaults follow the paper: m=12
+    #    report bits, n=20 metadata bits, FIFO reporting).
+    device = SunderDevice(SunderConfig(rate_nibbles=4, report_bits=16))
+    placement = device.configure(machine)
+    print("Placed onto %d processing unit(s)" % len(placement.pus_used()))
+
+    # 4. Stream some traffic through it.
+    traffic = (
+        b"GET /index.html\n"
+        b"GET /admin HTTP/1.1\n"
+        b"root:x:0:0:root:/root:/bin/bash\n"
+        b"call me at 123-45-6789 ok?\n"
+    )
+    vectors, limit = stream_for(machine, traffic)
+    result = device.run(vectors, position_limit=limit)
+
+    print("\n%d cycles, %.3fx reporting overhead" % (
+        result.cycles, result.slowdown))
+    print("Reports (byte offset of match end -> rule):")
+    for event in sorted(result.reports().events, key=lambda e: e.position):
+        byte_offset = event.position // 2  # nibble position -> byte
+        print("  byte %3d  %s" % (byte_offset, event.report_code))
+
+
+if __name__ == "__main__":
+    main()

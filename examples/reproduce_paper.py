@@ -1,0 +1,55 @@
+"""Run every paper experiment (Tables 1-5, Figures 8-10) in one go.
+
+Equivalent to the benchmark harness without pytest — handy for quickly
+regenerating all artifacts at a chosen scale:
+
+    python examples/reproduce_paper.py [scale]
+
+``scale`` is the fraction of the paper's 1MB input / state counts
+(default 0.01; the tables take a few minutes at 0.02).
+"""
+
+import sys
+import time
+
+from repro.experiments import (
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+
+def main(scale=0.01):
+    print("Reproducing Sunder (MICRO'21) artifacts at scale %.3f\n" % scale)
+    started = time.time()
+
+    rows, derived = table2.run()
+    print(table2.render(rows, derived), "\n")
+
+    print(table5.render(table5.run()), "\n")
+
+    print(figure9.render(figure9.run()), "\n")
+
+    print(figure10.render(figure10.run()), "\n")
+
+    rows = table1.run(scale=scale)
+    print(table1.render(rows), "\n")
+
+    rows3, averages3 = table3.run(scale=scale)
+    print(table3.render(rows3, averages3), "\n")
+
+    rows4, averages4 = table4.run(scale=scale)
+    print(table4.render(rows4, averages4), "\n")
+
+    print(figure8.render(figure8.run(table4_rows=rows4)), "\n")
+
+    print("Done in %.1fs" % (time.time() - started))
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.01)

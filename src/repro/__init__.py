@@ -1,0 +1,30 @@
+"""repro — a from-scratch reproduction of Sunder (MICRO '21).
+
+Sunder is an in-SRAM automata-processing accelerator with a reconfigurable
+nibble processing rate and an in-place, memory-mapped reporting
+architecture.  This package provides:
+
+- :mod:`repro.automata` — homogeneous NFA substrate (+ ANML/MNRL I/O)
+- :mod:`repro.regex` — regex to homogeneous-NFA compiler
+- :mod:`repro.transform` — nibble transformation and temporal striding
+- :mod:`repro.sim` — functional cycle-accurate simulation
+- :mod:`repro.core` — the Sunder architecture model (the paper's contribution)
+- :mod:`repro.hwmodel` — area/delay/frequency models (Tables 2 & 5)
+- :mod:`repro.baselines` — AP, AP+RAD, Cache Automaton, Impala models
+- :mod:`repro.workloads` — synthetic ANMLZoo/Regex benchmark stand-ins
+- :mod:`repro.experiments` — one harness per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from .automata import Automaton, StartKind, Ste, SymbolSet
+from .errors import ReproError
+
+__all__ = [
+    "Automaton",
+    "StartKind",
+    "Ste",
+    "SymbolSet",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Homogeneous-NFA substrate: symbol sets, STEs, graphs, and I/O formats."""
+
+from .automaton import Automaton, single_pattern
+from .classic import ClassicNfa, figure1_example
+from .ops import (
+    connected_components,
+    degree_statistics,
+    merge_prefix_equivalent,
+    merge_suffix_equivalent,
+    minimize,
+    union,
+)
+from .ste import StartKind, Ste
+from .symbolset import SymbolSet
+from .viz import outline, to_dot, write_dot
+
+__all__ = [
+    "Automaton",
+    "ClassicNfa",
+    "figure1_example",
+    "SymbolSet",
+    "StartKind",
+    "Ste",
+    "single_pattern",
+    "connected_components",
+    "degree_statistics",
+    "merge_prefix_equivalent",
+    "merge_suffix_equivalent",
+    "minimize",
+    "outline",
+    "to_dot",
+    "union",
+    "write_dot",
+]

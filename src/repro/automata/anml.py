@@ -1,0 +1,164 @@
+"""ANML (Automata Network Markup Language) reader/writer.
+
+ANML is the XML interchange format of the Micron Automata Processor and of
+the ANMLZoo benchmark suite the paper evaluates.  This module supports the
+subset ANMLZoo uses: ``state-transition-element`` nodes with a character
+class, start attributes, ``activate-on-match`` edges, and
+``report-on-match`` flags.  Only arity-1 automata are representable (ANML
+has no notion of strided symbol vectors).
+"""
+
+import xml.etree.ElementTree as ElementTree
+
+from ..errors import FormatError
+from .automaton import Automaton
+from .ste import StartKind
+from .symbolset import SymbolSet
+
+_ESCAPES = {
+    "n": ord("\n"),
+    "r": ord("\r"),
+    "t": ord("\t"),
+    "0": 0,
+    "\\": ord("\\"),
+    "]": ord("]"),
+    "[": ord("["),
+    "-": ord("-"),
+    "*": ord("*"),
+    ".": ord("."),
+}
+
+
+def parse_charclass(text, bits=8):
+    """Parse an ANML character class like ``[a-f\\x00]`` into a SymbolSet.
+
+    Accepts ``[*]`` (or bare ``*``) for the full alphabet and the escape
+    forms ``\\xHH``, ``\\n``, ``\\r``, ``\\t``, ``\\0``, and backslashed
+    metacharacters.
+    """
+    text = text.strip()
+    if text in ("*", "[*]"):
+        return SymbolSet.full(bits)
+    if not (text.startswith("[") and text.endswith("]")):
+        raise FormatError("character class must be bracketed: %r" % text)
+    body = text[1:-1]
+    negate = body.startswith("^")
+    if negate:
+        body = body[1:]
+
+    index = 0
+
+    def read_symbol():
+        nonlocal index
+        char = body[index]
+        if char == "\\":
+            index += 1
+            if index >= len(body):
+                raise FormatError("dangling escape in %r" % text)
+            escape = body[index]
+            if escape == "x":
+                hex_digits = body[index + 1:index + 3]
+                if len(hex_digits) != 2:
+                    raise FormatError("bad \\x escape in %r" % text)
+                index += 3
+                return int(hex_digits, 16)
+            if escape in _ESCAPES:
+                index += 1
+                return _ESCAPES[escape]
+            raise FormatError("unknown escape \\%s in %r" % (escape, text))
+        index += 1
+        return ord(char)
+
+    mask_set = SymbolSet.empty(bits)
+    while index < len(body):
+        low = read_symbol()
+        if index < len(body) and body[index] == "-" and index + 1 < len(body):
+            index += 1
+            high = read_symbol()
+            mask_set = mask_set | SymbolSet.from_ranges(bits, [(low, high)])
+        else:
+            mask_set = mask_set | SymbolSet.single(bits, low)
+    if negate:
+        mask_set = ~mask_set
+    return mask_set
+
+
+def loads(text, bits=8):
+    """Parse an ANML document string into an :class:`Automaton`."""
+    try:
+        root = ElementTree.fromstring(text)
+    except ElementTree.ParseError as error:
+        raise FormatError("malformed ANML XML: %s" % error) from error
+    network = root if root.tag == "automata-network" else root.find("automata-network")
+    if network is None:
+        raise FormatError("no <automata-network> element found")
+    automaton = Automaton(name=network.get("id", "anml"), bits=bits)
+    edges = []
+    for element in network.iter("state-transition-element"):
+        state_id = element.get("id")
+        if state_id is None:
+            raise FormatError("state-transition-element without id")
+        symbol_set = parse_charclass(element.get("symbol-set", "[*]"), bits=bits)
+        start_attr = element.get("start", "none")
+        try:
+            start = StartKind(start_attr)
+        except ValueError:
+            raise FormatError("unknown start kind %r" % start_attr) from None
+        report_node = element.find("report-on-match")
+        report = report_node is not None
+        report_code = report_node.get("reportcode") if report else None
+        automaton.new_state(
+            state_id, symbol_set, start=start,
+            report=report, report_code=report_code,
+        )
+        for activation in element.iter("activate-on-match"):
+            target = activation.get("element")
+            if target is None:
+                raise FormatError("activate-on-match without element attribute")
+            edges.append((state_id, target))
+    for src, dst in edges:
+        automaton.add_transition(src, dst)
+    return automaton
+
+
+def load(path, bits=8):
+    """Read an ANML file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read(), bits=bits)
+
+
+def dumps(automaton):
+    """Serialize an arity-1 automaton to an ANML document string."""
+    if automaton.arity != 1:
+        raise FormatError(
+            "ANML cannot represent arity-%d automata" % automaton.arity
+        )
+    network = ElementTree.Element("automata-network", {"id": automaton.name})
+    for state in automaton:
+        attributes = {
+            "id": str(state.id),
+            "symbol-set": state.symbols[0].to_charclass(),
+        }
+        if state.start is not StartKind.NONE:
+            attributes["start"] = state.start.value
+        element = ElementTree.SubElement(
+            network, "state-transition-element", attributes
+        )
+        if state.report:
+            report_attributes = {}
+            if state.report_code is not None:
+                report_attributes["reportcode"] = str(state.report_code)
+            ElementTree.SubElement(element, "report-on-match", report_attributes)
+        for successor in sorted(automaton.successors(state.id)):
+            ElementTree.SubElement(
+                element, "activate-on-match", {"element": str(successor)}
+            )
+    root = ElementTree.Element("anml", {"version": "1.0"})
+    root.append(network)
+    return ElementTree.tostring(root, encoding="unicode")
+
+
+def dump(automaton, path):
+    """Write an automaton to an ANML file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(automaton))

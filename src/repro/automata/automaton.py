@@ -1,0 +1,308 @@
+"""Homogeneous NFA container.
+
+The :class:`Automaton` owns a set of :class:`~repro.automata.ste.Ste`
+states and a successor relation.  It is the common currency of the whole
+library: the regex compiler produces automata, the transformation passes
+rewrite them, the simulator executes them, and the architecture model maps
+them onto subarrays.
+"""
+
+from ..errors import AutomatonError
+from .ste import StartKind, Ste
+from .symbolset import SymbolSet
+
+
+class Automaton:
+    """A homogeneous NFA over a fixed-width, fixed-arity symbol vector.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (used in reports and experiment tables).
+    bits:
+        Sub-symbol width in bits (8 for byte automata, 4 after the nibble
+        transformation).
+    arity:
+        Number of sub-symbols consumed per cycle (1, 2, or 4 in Sunder).
+    start_period:
+        ``ALL_INPUT`` start states self-enable only on cycles that are
+        multiples of this value.  A byte automaton rewritten to nibbles has
+        ``start_period == 2`` because patterns may only begin on byte
+        boundaries; strided automata fold the period back to 1.
+    """
+
+    def __init__(self, name="automaton", bits=8, arity=1, start_period=1):
+        if bits < 1:
+            raise AutomatonError("bits must be positive")
+        if arity < 1:
+            raise AutomatonError("arity must be positive")
+        if start_period < 1:
+            raise AutomatonError("start_period must be positive")
+        self.name = name
+        self.bits = bits
+        self.arity = arity
+        self.start_period = start_period
+        self._states = {}
+        self._succ = {}
+        self._pred = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_state(self, ste):
+        """Insert an STE; returns it for chaining."""
+        if not isinstance(ste, Ste):
+            raise AutomatonError("add_state expects an Ste, got %r" % (ste,))
+        if ste.id in self._states:
+            raise AutomatonError("duplicate state id %r" % (ste.id,))
+        if ste.bits != self.bits:
+            raise AutomatonError(
+                "state %r has %d-bit symbols in a %d-bit automaton"
+                % (ste.id, ste.bits, self.bits)
+            )
+        if ste.arity != self.arity:
+            raise AutomatonError(
+                "state %r has arity %d in an arity-%d automaton"
+                % (ste.id, ste.arity, self.arity)
+            )
+        self._states[ste.id] = ste
+        self._succ[ste.id] = set()
+        self._pred[ste.id] = set()
+        return ste
+
+    def new_state(self, state_id, symbols, **kwargs):
+        """Convenience wrapper: build and insert an :class:`Ste`."""
+        return self.add_state(Ste(state_id, symbols, **kwargs))
+
+    def add_transition(self, src, dst):
+        """Add an edge ``src -> dst`` (idempotent)."""
+        if src not in self._states:
+            raise AutomatonError("unknown source state %r" % (src,))
+        if dst not in self._states:
+            raise AutomatonError("unknown destination state %r" % (dst,))
+        self._succ[src].add(dst)
+        self._pred[dst].add(src)
+
+    def remove_transition(self, src, dst):
+        """Remove the edge ``src -> dst`` if present."""
+        self._succ.get(src, set()).discard(dst)
+        self._pred.get(dst, set()).discard(src)
+
+    def remove_state(self, state_id):
+        """Remove a state and all incident edges."""
+        if state_id not in self._states:
+            raise AutomatonError("unknown state %r" % (state_id,))
+        for succ in self._succ.pop(state_id):
+            self._pred[succ].discard(state_id)
+        for pred in self._pred.pop(state_id):
+            self._succ[pred].discard(state_id)
+        del self._states[state_id]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, state_id):
+        return state_id in self._states
+
+    def __len__(self):
+        return len(self._states)
+
+    def __iter__(self):
+        return iter(self._states.values())
+
+    def state(self, state_id):
+        """Look up one STE by id."""
+        try:
+            return self._states[state_id]
+        except KeyError:
+            raise AutomatonError("unknown state %r" % (state_id,)) from None
+
+    def state_ids(self):
+        """All state ids (insertion order)."""
+        return list(self._states)
+
+    def states(self):
+        """All STEs (insertion order)."""
+        return list(self._states.values())
+
+    def successors(self, state_id):
+        """Successor ids of a state (a set; do not mutate)."""
+        return self._succ[state_id]
+
+    def predecessors(self, state_id):
+        """Predecessor ids of a state (a set; do not mutate)."""
+        return self._pred[state_id]
+
+    def transitions(self):
+        """Yield every ``(src, dst)`` edge."""
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                yield (src, dst)
+
+    def num_transitions(self):
+        """Total edge count."""
+        return sum(len(dsts) for dsts in self._succ.values())
+
+    def start_states(self):
+        """STEs with either start kind."""
+        return [s for s in self._states.values() if s.is_start]
+
+    def report_states(self):
+        """STEs flagged as reporting."""
+        return [s for s in self._states.values() if s.report]
+
+    # ------------------------------------------------------------------
+    # Validation & copying
+    # ------------------------------------------------------------------
+    def validate(self):
+        """Check structural invariants; raises :class:`AutomatonError`.
+
+        Invariants: symbol widths and arities are uniform; the successor and
+        predecessor maps mirror each other; every non-start state is
+        reachable from some start state; no state has an empty symbol set at
+        any position (such a state could never activate).
+        """
+        for state in self:
+            if state.bits != self.bits or state.arity != self.arity:
+                raise AutomatonError("state %r shape mismatch" % (state.id,))
+            for position, sset in enumerate(state.symbols):
+                if sset.is_empty():
+                    raise AutomatonError(
+                        "state %r has an empty symbol set at position %d"
+                        % (state.id, position)
+                    )
+        for src, dsts in self._succ.items():
+            for dst in dsts:
+                if src not in self._pred[dst]:
+                    raise AutomatonError(
+                        "edge %r->%r missing from predecessor map" % (src, dst)
+                    )
+        for dst, srcs in self._pred.items():
+            for src in srcs:
+                if dst not in self._succ[src]:
+                    raise AutomatonError(
+                        "edge %r->%r missing from successor map" % (src, dst)
+                    )
+        unreachable = self.unreachable_states()
+        if unreachable:
+            raise AutomatonError(
+                "unreachable states: %s" % sorted(unreachable)[:8]
+            )
+        return self
+
+    def unreachable_states(self):
+        """Ids of states not reachable from any start state."""
+        frontier = [s.id for s in self.start_states()]
+        seen = set(frontier)
+        while frontier:
+            current = frontier.pop()
+            for succ in self._succ[current]:
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return set(self._states) - seen
+
+    def prune_unreachable(self):
+        """Drop unreachable states in place; returns the number removed."""
+        dead = self.unreachable_states()
+        for state_id in dead:
+            self.remove_state(state_id)
+        return len(dead)
+
+    def copy(self, name=None):
+        """Deep-enough copy (STEs are cloned, edges rebuilt)."""
+        duplicate = Automaton(
+            name=name if name is not None else self.name,
+            bits=self.bits,
+            arity=self.arity,
+            start_period=self.start_period,
+        )
+        for state in self:
+            duplicate.add_state(state.clone())
+        for src, dst in self.transitions():
+            duplicate.add_transition(src, dst)
+        return duplicate
+
+    def relabeled(self, prefix="q"):
+        """Copy with dense integer ids ``<prefix><n>``; returns the copy."""
+        mapping = {old: "%s%d" % (prefix, index)
+                   for index, old in enumerate(self._states)}
+        duplicate = Automaton(
+            name=self.name, bits=self.bits, arity=self.arity,
+            start_period=self.start_period,
+        )
+        for state in self:
+            duplicate.add_state(state.clone(mapping[state.id]))
+        for src, dst in self.transitions():
+            duplicate.add_transition(mapping[src], mapping[dst])
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def merge_in(self, other, prefix):
+        """Union ``other`` into this automaton, prefixing its state ids.
+
+        Both automata must agree on bits, arity, and start period.  Used to
+        pack many independent patterns (e.g. a whole ruleset) into a single
+        machine, which is how the benchmark suites ship their automata.
+        """
+        if (other.bits, other.arity) != (self.bits, self.arity):
+            raise AutomatonError("cannot merge automata of different shapes")
+        if other.start_period != self.start_period:
+            raise AutomatonError("cannot merge automata with different start periods")
+        mapping = {}
+        for state in other:
+            new_id = "%s%s" % (prefix, state.id)
+            mapping[state.id] = new_id
+            self.add_state(state.clone(new_id))
+        for src, dst in other.transitions():
+            self.add_transition(mapping[src], mapping[dst])
+        return mapping
+
+    # ------------------------------------------------------------------
+    def summary(self):
+        """Dict of headline statistics (sizes, degrees, report density)."""
+        n_states = len(self)
+        n_report = len(self.report_states())
+        return {
+            "name": self.name,
+            "bits": self.bits,
+            "arity": self.arity,
+            "states": n_states,
+            "transitions": self.num_transitions(),
+            "start_states": len(self.start_states()),
+            "report_states": n_report,
+            "report_state_pct": (100.0 * n_report / n_states) if n_states else 0.0,
+        }
+
+    def __repr__(self):
+        return "Automaton(%r, bits=%d, arity=%d, states=%d, transitions=%d)" % (
+            self.name, self.bits, self.arity, len(self), self.num_transitions(),
+        )
+
+
+def single_pattern(name, pattern, bits=8, report_code=None):
+    """Build a linear automaton matching one literal ``pattern``.
+
+    ``pattern`` is a sequence of symbol values (e.g. ``b"GET "``).  The
+    first state is an ``ALL_INPUT`` start so the literal is found at every
+    input offset; the last state reports.
+    """
+    if not pattern:
+        raise AutomatonError("pattern must be non-empty")
+    automaton = Automaton(name=name, bits=bits)
+    previous = None
+    last_index = len(pattern) - 1
+    for index, value in enumerate(pattern):
+        ste = automaton.new_state(
+            "%s_%d" % (name, index),
+            SymbolSet.single(bits, value),
+            start=StartKind.ALL_INPUT if index == 0 else StartKind.NONE,
+            report=index == last_index,
+            report_code=report_code if index == last_index else None,
+        )
+        if previous is not None:
+            automaton.add_transition(previous, ste.id)
+        previous = ste.id
+    return automaton

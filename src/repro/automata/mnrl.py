@@ -1,0 +1,110 @@
+"""MNRL (MNCaRT Network Representation Language) JSON reader/writer.
+
+MNRL is the JSON successor to ANML used by the MNCaRT automata-processing
+ecosystem.  Unlike ANML it is easy to extend, so we use a small extension
+(``symbolSets`` as a list) to round-trip strided, vector-labelled automata
+that ANML cannot express.
+"""
+
+import json
+
+from ..errors import FormatError
+from .anml import parse_charclass
+from .automaton import Automaton
+from .ste import StartKind
+
+_ENABLE_BY_KIND = {
+    StartKind.NONE: "onActivateIn",
+    StartKind.START_OF_DATA: "onStartAndActivateIn",
+    StartKind.ALL_INPUT: "onInput",
+}
+_KIND_BY_ENABLE = {value: key for key, value in _ENABLE_BY_KIND.items()}
+
+
+def dumps(automaton, indent=None):
+    """Serialize an automaton (any arity) to an MNRL JSON string."""
+    nodes = []
+    for state in automaton:
+        node = {
+            "id": str(state.id),
+            "type": "hState",
+            "enable": _ENABLE_BY_KIND[state.start],
+            "report": state.report,
+            "attributes": {
+                "symbolSets": [s.to_charclass() for s in state.symbols],
+            },
+            "outputConnections": [
+                {"portId": "o", "activate": [
+                    {"id": str(dst), "portId": "i"}
+                    for dst in sorted(automaton.successors(state.id))
+                ]}
+            ],
+        }
+        if state.report:
+            node["reportId"] = state.report_code
+            node["attributes"]["reportOffsets"] = list(state.report_offsets)
+        nodes.append(node)
+    document = {
+        "id": automaton.name,
+        "bits": automaton.bits,
+        "arity": automaton.arity,
+        "startPeriod": automaton.start_period,
+        "nodes": nodes,
+    }
+    return json.dumps(document, indent=indent)
+
+
+def loads(text):
+    """Parse an MNRL JSON string into an :class:`Automaton`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FormatError("malformed MNRL JSON: %s" % error) from error
+    if "nodes" not in document:
+        raise FormatError("MNRL document has no 'nodes' array")
+    bits = document.get("bits", 8)
+    automaton = Automaton(
+        name=document.get("id", "mnrl"),
+        bits=bits,
+        arity=document.get("arity", 1),
+        start_period=document.get("startPeriod", 1),
+    )
+    edges = []
+    for node in document["nodes"]:
+        if node.get("type") != "hState":
+            raise FormatError("unsupported MNRL node type %r" % node.get("type"))
+        enable = node.get("enable", "onActivateIn")
+        if enable not in _KIND_BY_ENABLE:
+            raise FormatError("unknown MNRL enable kind %r" % enable)
+        attributes = node.get("attributes", {})
+        charclasses = attributes.get("symbolSets")
+        if charclasses is None:
+            raise FormatError("MNRL node %r missing symbolSets" % node.get("id"))
+        symbols = tuple(parse_charclass(text, bits=bits) for text in charclasses)
+        report = bool(node.get("report"))
+        offsets = attributes.get("reportOffsets") if report else None
+        automaton.new_state(
+            node["id"], symbols,
+            start=_KIND_BY_ENABLE[enable],
+            report=report,
+            report_code=node.get("reportId"),
+            report_offsets=offsets,
+        )
+        for port in node.get("outputConnections", []):
+            for target in port.get("activate", []):
+                edges.append((node["id"], target["id"]))
+    for src, dst in edges:
+        automaton.add_transition(src, dst)
+    return automaton
+
+
+def dump(automaton, path, indent=2):
+    """Write an automaton to an MNRL file at ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(automaton, indent=indent))
+
+
+def load(path):
+    """Read an MNRL file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

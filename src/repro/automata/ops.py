@@ -1,0 +1,184 @@
+"""Graph algorithms over homogeneous NFAs.
+
+These are the passes the transformation pipeline leans on: connected
+components drive placement into processing units, and the two congruence
+merges implement the FlexAmata-style state minimization that keeps the
+nibble transformation's state overhead near the paper's Table 3 numbers.
+"""
+
+from collections import deque
+
+from .automaton import Automaton
+
+
+def connected_components(automaton):
+    """Weakly connected components as lists of state ids.
+
+    Placement treats one component as an indivisible automaton: all states
+    of a component must land in processing units that can exchange
+    activation signals (Section 5.2's local/global interconnect).
+    """
+    remaining = set(automaton.state_ids())
+    components = []
+    while remaining:
+        seed = next(iter(remaining))
+        queue = deque([seed])
+        component = {seed}
+        while queue:
+            current = queue.popleft()
+            for neighbor in automaton.successors(current) | automaton.predecessors(current):
+                if neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        remaining -= component
+        components.append(sorted(component))
+    components.sort(key=lambda c: (-len(c), c[0]))
+    return components
+
+
+def degree_statistics(automaton):
+    """Fan-in/fan-out statistics used by the interconnect sizing analysis."""
+    if len(automaton) == 0:
+        return {"max_fan_in": 0, "max_fan_out": 0,
+                "avg_fan_in": 0.0, "avg_fan_out": 0.0}
+    fan_in = [len(automaton.predecessors(s)) for s in automaton.state_ids()]
+    fan_out = [len(automaton.successors(s)) for s in automaton.state_ids()]
+    return {
+        "max_fan_in": max(fan_in),
+        "max_fan_out": max(fan_out),
+        "avg_fan_in": sum(fan_in) / len(fan_in),
+        "avg_fan_out": sum(fan_out) / len(fan_out),
+    }
+
+
+def _merge_pass(automaton, signature):
+    """Merge states sharing a signature; returns number of states removed.
+
+    ``signature`` maps a state id to a hashable key; states with equal keys
+    are collapsed into the first one (edges are unioned onto the survivor).
+    """
+    groups = {}
+    for state in automaton:
+        groups.setdefault(signature(state.id), []).append(state.id)
+    removed = 0
+    for members in groups.values():
+        if len(members) < 2:
+            continue
+        survivor = members[0]
+        for duplicate in members[1:]:
+            for pred in list(automaton.predecessors(duplicate)):
+                remapped = survivor if pred == duplicate else pred
+                automaton.add_transition(remapped, survivor)
+            for succ in list(automaton.successors(duplicate)):
+                remapped = survivor if succ == duplicate else succ
+                automaton.add_transition(survivor, remapped)
+            automaton.remove_state(duplicate)
+            removed += 1
+    return removed
+
+
+def merge_suffix_equivalent(automaton):
+    """Merge states with identical behaviour and successor sets.
+
+    Safe for NFAs: two states with the same symbol sets, flags, and exact
+    successor sets are observationally identical going forward, so their
+    incoming edges can be pooled.  Returns states removed.
+    """
+    def signature(state_id):
+        state = automaton.state(state_id)
+        return (state.behavior_key(), frozenset(
+            s for s in automaton.successors(state_id) if s != state_id
+        ), state_id in automaton.successors(state_id))
+    return _merge_pass(automaton, signature)
+
+
+def merge_prefix_equivalent(automaton):
+    """Merge states with identical behaviour and predecessor sets.
+
+    Two states with the same symbol sets, start kind, report behaviour, and
+    exact predecessor sets are always co-active, so unioning their outgoing
+    edges preserves the language.  Returns states removed.
+
+    Start states with *no* predecessors are deliberately left unmerged:
+    collapsing them is language-preserving but welds independent rules into
+    one weakly-connected component, destroying the per-rule granularity the
+    hardware placement needs (a component must fit one 1024-state cluster).
+    """
+    def signature(state_id):
+        state = automaton.state(state_id)
+        predecessors = frozenset(
+            p for p in automaton.predecessors(state_id) if p != state_id
+        )
+        if state.is_start and not predecessors:
+            return ("unmergeable-start", state_id)
+        return (state.behavior_key(), predecessors,
+                state_id in automaton.predecessors(state_id))
+    return _merge_pass(automaton, signature)
+
+
+def minimize(automaton, max_rounds=32):
+    """Iterate prefix+suffix merging to a fixpoint; returns states removed.
+
+    This is the hardware-aware minimization FlexAmata applies after bitwise
+    decomposition: it cannot change the language (each individual merge is
+    language-preserving) and typically recovers most of the state blowup of
+    naive per-state decomposition.
+    """
+    total = 0
+    for _ in range(max_rounds):
+        removed = merge_suffix_equivalent(automaton)
+        removed += merge_prefix_equivalent(automaton)
+        total += removed
+        if removed == 0:
+            break
+    return total
+
+
+def union(automata, name="union", bits=None, arity=None):
+    """Disjoint union of many automata into one machine.
+
+    Each input keeps its behaviour; state ids are prefixed with the input's
+    index.  All inputs must share shape (bits/arity/start period).
+    """
+    if not automata:
+        raise ValueError("union() needs at least one automaton")
+    first = automata[0]
+    result = Automaton(
+        name=name,
+        bits=bits if bits is not None else first.bits,
+        arity=arity if arity is not None else first.arity,
+        start_period=first.start_period,
+    )
+    for index, machine in enumerate(automata):
+        result.merge_in(machine, "u%d_" % index)
+    return result
+
+
+def reachable_from(automaton, seeds):
+    """Forward-reachable set of state ids from ``seeds``."""
+    queue = deque(seeds)
+    seen = set(seeds)
+    while queue:
+        current = queue.popleft()
+        for succ in automaton.successors(current):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+def longest_simple_path_bound(automaton):
+    """Cheap upper bound on pattern depth: BFS layering from start states.
+
+    Used by workload generators to sanity-check that generated rules have
+    the intended depth; exact longest-path is NP-hard on general graphs.
+    """
+    depth = {s.id: 0 for s in automaton.start_states()}
+    queue = deque(depth)
+    while queue:
+        current = queue.popleft()
+        for succ in automaton.successors(current):
+            if succ not in depth:
+                depth[succ] = depth[current] + 1
+                queue.append(succ)
+    return max(depth.values()) + 1 if depth else 0

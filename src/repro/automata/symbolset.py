@@ -1,0 +1,277 @@
+"""Symbol sets (character classes) over power-of-two alphabets.
+
+A :class:`SymbolSet` is an immutable set of symbols drawn from the alphabet
+``[0, 2**bits)``.  Membership is stored as a Python-int bitmask, which keeps
+the set operations used throughout the transformation pipeline (union,
+intersection, complement) cheap even for the 256-symbol byte alphabet.
+
+Automata in this library label each state with one symbol set per stride
+position, so symbol sets are the vocabulary shared by the regex compiler,
+the nibble transformation, and the hardware mapping (a symbol set over a
+4-bit alphabet is exactly one one-hot column segment in a Sunder subarray).
+"""
+
+from ..errors import SymbolError
+
+_PRINTABLE_ESCAPES = {
+    ord("\n"): "\\n",
+    ord("\r"): "\\r",
+    ord("\t"): "\\t",
+    ord("\\"): "\\\\",
+    ord("]"): "\\]",
+    ord("-"): "\\-",
+    ord("["): "\\[",
+}
+
+
+def _symbol_repr(value):
+    """Render one symbol the way ANML character classes do."""
+    if value in _PRINTABLE_ESCAPES:
+        return _PRINTABLE_ESCAPES[value]
+    if 0x20 <= value <= 0x7E:
+        return chr(value)
+    return "\\x%02x" % value
+
+
+class SymbolSet:
+    """An immutable set of symbols over the alphabet ``[0, 2**bits)``.
+
+    Parameters
+    ----------
+    bits:
+        Width of a symbol in bits; the alphabet has ``2**bits`` symbols.
+        Sunder's native alphabet is 4 bits (a nibble); byte-oriented
+        benchmarks use 8 bits.
+    mask:
+        Bitmask of members; bit ``i`` set means symbol ``i`` is in the set.
+    """
+
+    __slots__ = ("bits", "mask")
+
+    def __init__(self, bits, mask=0):
+        if bits < 1 or bits > 24:
+            raise SymbolError("symbol width must be in [1, 24] bits, got %r" % bits)
+        size = 1 << bits
+        full = (1 << size) - 1
+        if mask < 0 or mask > full:
+            raise SymbolError("mask out of range for a %d-bit alphabet" % bits)
+        object.__setattr__(self, "bits", bits)
+        object.__setattr__(self, "mask", mask)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("SymbolSet is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, bits):
+        """The empty set over a ``bits``-wide alphabet."""
+        return cls(bits, 0)
+
+    @classmethod
+    def full(cls, bits):
+        """The set containing every symbol of a ``bits``-wide alphabet."""
+        return cls(bits, (1 << (1 << bits)) - 1)
+
+    @classmethod
+    def of(cls, bits, symbols):
+        """Build a set from an iterable of symbol values."""
+        mask = 0
+        size = 1 << bits
+        for value in symbols:
+            if not 0 <= value < size:
+                raise SymbolError(
+                    "symbol %r out of range for a %d-bit alphabet" % (value, bits)
+                )
+            mask |= 1 << value
+        return cls(bits, mask)
+
+    @classmethod
+    def single(cls, bits, value):
+        """The singleton set ``{value}``."""
+        return cls.of(bits, (value,))
+
+    @classmethod
+    def from_ranges(cls, bits, ranges):
+        """Build a set from ``(low, high)`` inclusive ranges."""
+        mask = 0
+        size = 1 << bits
+        for low, high in ranges:
+            if low > high:
+                raise SymbolError("range low %d exceeds high %d" % (low, high))
+            if low < 0 or high >= size:
+                raise SymbolError(
+                    "range [%d, %d] out of bounds for a %d-bit alphabet"
+                    % (low, high, bits)
+                )
+            mask |= ((1 << (high - low + 1)) - 1) << low
+        return cls(bits, mask)
+
+    @classmethod
+    def from_bytes_literal(cls, data):
+        """An 8-bit set containing each byte of ``data``."""
+        return cls.of(8, data)
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other):
+        if not isinstance(other, SymbolSet):
+            raise SymbolError("expected a SymbolSet, got %r" % (other,))
+        if other.bits != self.bits:
+            raise SymbolError(
+                "alphabet mismatch: %d-bit vs %d-bit" % (self.bits, other.bits)
+            )
+
+    def union(self, other):
+        """Return ``self | other``."""
+        self._check_compatible(other)
+        return SymbolSet(self.bits, self.mask | other.mask)
+
+    def intersect(self, other):
+        """Return ``self & other``."""
+        self._check_compatible(other)
+        return SymbolSet(self.bits, self.mask & other.mask)
+
+    def difference(self, other):
+        """Return ``self - other``."""
+        self._check_compatible(other)
+        return SymbolSet(self.bits, self.mask & ~other.mask)
+
+    def complement(self):
+        """Return the complement within the alphabet."""
+        full = (1 << (1 << self.bits)) - 1
+        return SymbolSet(self.bits, full ^ self.mask)
+
+    __or__ = union
+    __and__ = intersect
+    __sub__ = difference
+    __invert__ = complement
+
+    def is_empty(self):
+        """True when the set has no members."""
+        return self.mask == 0
+
+    def is_full(self):
+        """True when the set contains the whole alphabet."""
+        return self.mask == (1 << (1 << self.bits)) - 1
+
+    def is_subset(self, other):
+        """True when every member of ``self`` is in ``other``."""
+        self._check_compatible(other)
+        return self.mask & ~other.mask == 0
+
+    def overlaps(self, other):
+        """True when the intersection is non-empty."""
+        self._check_compatible(other)
+        return self.mask & other.mask != 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, value):
+        return 0 <= value < (1 << self.bits) and (self.mask >> value) & 1 == 1
+
+    def __iter__(self):
+        mask = self.mask
+        while mask:
+            low = mask & -mask
+            yield low.bit_length() - 1
+            mask ^= low
+
+    def __len__(self):
+        return bin(self.mask).count("1")
+
+    def __bool__(self):
+        return self.mask != 0
+
+    def min(self):
+        """Smallest member; raises :class:`SymbolError` on an empty set."""
+        if not self.mask:
+            raise SymbolError("min() of an empty symbol set")
+        return (self.mask & -self.mask).bit_length() - 1
+
+    def max(self):
+        """Largest member; raises :class:`SymbolError` on an empty set."""
+        if not self.mask:
+            raise SymbolError("max() of an empty symbol set")
+        return self.mask.bit_length() - 1
+
+    def density(self):
+        """Fraction of the alphabet covered, in ``[0, 1]``."""
+        return len(self) / float(1 << self.bits)
+
+    def ranges(self):
+        """Yield maximal ``(low, high)`` inclusive runs of members."""
+        run_start = None
+        previous = None
+        for value in self:
+            if run_start is None:
+                run_start = value
+            elif value != previous + 1:
+                yield (run_start, previous)
+                run_start = value
+            previous = value
+        if run_start is not None:
+            yield (run_start, previous)
+
+    # ------------------------------------------------------------------
+    # Nibble decomposition helpers (used by the 8-bit -> 4-bit transform)
+    # ------------------------------------------------------------------
+    def split_nibbles(self):
+        """Decompose an 8-bit set into high-nibble groups.
+
+        Returns a list of ``(high_set, low_set)`` pairs of 4-bit
+        :class:`SymbolSet` such that the original set is exactly the union
+        of ``{(h << 4) | l : h in high_set, l in low_set}`` over the pairs,
+        the pairs are disjoint, and the number of pairs is minimal among
+        groupings that partition by high nibble (the FlexAmata row-group
+        decomposition).
+        """
+        if self.bits != 8:
+            raise SymbolError("split_nibbles() requires an 8-bit set")
+        lows_by_high = {}
+        for high in range(16):
+            low_mask = (self.mask >> (high << 4)) & 0xFFFF
+            if low_mask:
+                lows_by_high.setdefault(low_mask, 0)
+                lows_by_high[low_mask] |= 1 << high
+        return [
+            (SymbolSet(4, high_mask), SymbolSet(4, low_mask))
+            for low_mask, high_mask in sorted(lows_by_high.items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other):
+        return (
+            isinstance(other, SymbolSet)
+            and other.bits == self.bits
+            and other.mask == self.mask
+        )
+
+    def __hash__(self):
+        return hash((self.bits, self.mask))
+
+    def __repr__(self):
+        return "SymbolSet(bits=%d, %s)" % (self.bits, self.to_charclass())
+
+    def to_charclass(self):
+        """Render as a bracketed character class, e.g. ``[a-f0-3]``.
+
+        Follows ANML conventions: ``[*]`` denotes the full alphabet and
+        symbols outside printable ASCII are hex-escaped.
+        """
+        if self.is_full():
+            return "[*]"
+        parts = []
+        for low, high in self.ranges():
+            if high == low:
+                parts.append(_symbol_repr(low))
+            elif high == low + 1:
+                parts.append(_symbol_repr(low) + _symbol_repr(high))
+            else:
+                parts.append("%s-%s" % (_symbol_repr(low), _symbol_repr(high)))
+        return "[%s]" % "".join(parts)

@@ -1,0 +1,81 @@
+"""Automaton visualization: Graphviz DOT export and text outlines.
+
+VASim-style debugging aids.  ``to_dot`` renders a homogeneous NFA with
+ANML conventions (double circles for reporting states, bold border for
+starts, the symbol-set character class as the label).
+"""
+
+from .ste import StartKind
+
+
+def _dot_escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(automaton, name=None, max_states=2000):
+    """Render an automaton as a Graphviz DOT string.
+
+    ``max_states`` guards against accidentally dumping a 100k-state
+    machine; raise it explicitly for big graphs.
+    """
+    if len(automaton) > max_states:
+        raise ValueError(
+            "automaton has %d states; raise max_states to render it"
+            % len(automaton)
+        )
+    lines = [
+        'digraph "%s" {' % _dot_escape(name or automaton.name),
+        "  rankdir=LR;",
+        '  node [fontname="monospace" fontsize=10];',
+    ]
+    for state in automaton:
+        label = "x".join(s.to_charclass() for s in state.symbols)
+        attributes = ['label="%s\\n%s"' % (_dot_escape(str(state.id)),
+                                           _dot_escape(label))]
+        if state.report:
+            attributes.append("shape=doublecircle")
+        else:
+            attributes.append("shape=circle")
+        if state.start is StartKind.ALL_INPUT:
+            attributes.append('style=bold color=blue')
+        elif state.start is StartKind.START_OF_DATA:
+            attributes.append('style=bold color=darkgreen')
+        lines.append('  "%s" [%s];' % (_dot_escape(str(state.id)),
+                                       " ".join(attributes)))
+    for src, dst in sorted(automaton.transitions()):
+        lines.append('  "%s" -> "%s";' % (_dot_escape(str(src)),
+                                          _dot_escape(str(dst))))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(automaton, path, **kwargs):
+    """Write the DOT rendering to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dot(automaton, **kwargs))
+
+
+def outline(automaton, max_states=50):
+    """Human-readable text outline: one line per state.
+
+    Format: ``[S]/[R] id  charclass  -> successors``; truncates after
+    ``max_states`` lines.
+    """
+    lines = ["%s (%d states, %d transitions, %d-bit x%d)" % (
+        automaton.name, len(automaton), automaton.num_transitions(),
+        automaton.bits, automaton.arity,
+    )]
+    for index, state in enumerate(automaton):
+        if index >= max_states:
+            lines.append("  ... %d more states" % (len(automaton) - index))
+            break
+        flags = ""
+        if state.start is not StartKind.NONE:
+            flags += "S"
+        if state.report:
+            flags += "R"
+        label = "x".join(s.to_charclass() for s in state.symbols)
+        successors = ",".join(sorted(map(str, automaton.successors(state.id))))
+        lines.append("  [%-2s] %-16s %-20s -> %s" % (
+            flags, state.id, label, successors or "-"))
+    return "\n".join(lines)

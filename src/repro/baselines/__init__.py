@@ -1,0 +1,40 @@
+"""Baseline architecture models: AP, AP+RAD, Cache Automaton, Impala."""
+
+from .ap import (
+    EXPORT_BITS_PER_CYCLE,
+    RAD_CHUNK_BITS,
+    REGION_SIZE,
+    ApPerfResult,
+    ApReportingModel,
+)
+from .software import Dfa, DfaMatcher, determinize, software_cost_model
+from .throughput import (
+    ALL_THROUGHPUT_MODELS,
+    AP_14NM_THROUGHPUT,
+    AP_50NM_THROUGHPUT,
+    CA_THROUGHPUT,
+    IMPALA_THROUGHPUT,
+    SUNDER_THROUGHPUT,
+    ThroughputModel,
+    figure8_rows,
+)
+
+__all__ = [
+    "ALL_THROUGHPUT_MODELS",
+    "AP_14NM_THROUGHPUT",
+    "AP_50NM_THROUGHPUT",
+    "ApPerfResult",
+    "ApReportingModel",
+    "CA_THROUGHPUT",
+    "Dfa",
+    "DfaMatcher",
+    "determinize",
+    "software_cost_model",
+    "EXPORT_BITS_PER_CYCLE",
+    "IMPALA_THROUGHPUT",
+    "RAD_CHUNK_BITS",
+    "REGION_SIZE",
+    "SUNDER_THROUGHPUT",
+    "ThroughputModel",
+    "figure8_rows",
+]

@@ -1,0 +1,139 @@
+"""Aho-Corasick multi-literal matching — the software baseline for
+signature sets.
+
+ClamAV/ExactMatch-style benchmarks are pure literal sets, for which
+software uses Aho-Corasick: a trie with failure links giving one state
+transition per input byte.  This module provides:
+
+- :class:`AhoCorasick` — classic construction (goto/fail/output) and a
+  byte-at-a-time matcher;
+- :meth:`AhoCorasick.to_automaton` — conversion of the *trie* (without
+  failure links) into a homogeneous NFA, which is exactly how literal
+  sets are deployed on the spatial accelerators: the NFA needs no failure
+  function because all prefixes run in parallel.
+
+Both paths are differential-tested against each other and against the
+regex pipeline, anchoring three independent implementations.
+"""
+
+from collections import deque
+
+from ..automata.automaton import Automaton
+from ..automata.ste import StartKind
+from ..automata.symbolset import SymbolSet
+from ..errors import WorkloadError
+
+
+class AhoCorasick:
+    """Aho-Corasick automaton over byte patterns."""
+
+    def __init__(self, patterns):
+        """``patterns``: iterable of bytes or (bytes, code) pairs."""
+        self.patterns = []
+        for entry in patterns:
+            if isinstance(entry, tuple):
+                pattern, code = entry
+            else:
+                pattern, code = entry, entry
+            if not pattern:
+                raise WorkloadError("empty pattern in Aho-Corasick set")
+            self.patterns.append((bytes(pattern), code))
+        if not self.patterns:
+            raise WorkloadError("Aho-Corasick needs at least one pattern")
+        self._build()
+
+    def _build(self):
+        # goto graph (trie)
+        self.goto = [{}]       # state -> byte -> state
+        self.output = [set()]  # state -> set of codes ending here
+        self.depth = [0]
+        for pattern, code in self.patterns:
+            state = 0
+            for byte in pattern:
+                if byte not in self.goto[state]:
+                    self.goto.append({})
+                    self.output.append(set())
+                    self.depth.append(self.depth[state] + 1)
+                    self.goto[state][byte] = len(self.goto) - 1
+                state = self.goto[state][byte]
+            self.output[state].add(code)
+
+        # failure links (BFS)
+        self.fail = [0] * len(self.goto)
+        queue = deque()
+        for byte, state in self.goto[0].items():
+            queue.append(state)
+        while queue:
+            state = queue.popleft()
+            for byte, target in self.goto[state].items():
+                queue.append(target)
+                fallback = self.fail[state]
+                while fallback and byte not in self.goto[fallback]:
+                    fallback = self.fail[fallback]
+                self.fail[target] = self.goto[fallback].get(byte, 0)
+                if self.fail[target] == target:
+                    self.fail[target] = 0
+                self.output[target] |= self.output[self.fail[target]]
+
+    @property
+    def num_states(self):
+        return len(self.goto)
+
+    def _step(self, state, byte):
+        while state and byte not in self.goto[state]:
+            state = self.fail[state]
+        return self.goto[state].get(byte, 0)
+
+    def find(self, data):
+        """All matches: set of ``(end_position, code)`` pairs."""
+        state = 0
+        hits = set()
+        for position, byte in enumerate(data):
+            state = self._step(state, byte)
+            for code in self.output[state]:
+                hits.add((position, code))
+        return hits
+
+    def memory_bytes(self, pointer_bytes=4):
+        """Sparse-table footprint: goto edges + fail links + outputs."""
+        edges = sum(len(table) for table in self.goto)
+        outputs = sum(len(codes) for codes in self.output)
+        return (edges * (1 + pointer_bytes)
+                + self.num_states * pointer_bytes
+                + outputs * pointer_bytes)
+
+    # ------------------------------------------------------------------
+    def to_automaton(self, name="aho-corasick", bits=8):
+        """Deploy the literal set as a homogeneous NFA.
+
+        One STE per trie node (minus the root): depth-1 nodes are
+        ``ALL_INPUT`` starts, an STE reports the codes of the patterns
+        ending at its node.  Failure links vanish: parallel prefix
+        tracking is free in an NFA.
+
+        Multiple codes on one node (duplicate patterns) are joined with
+        '+' in the report code, mirroring how rulesets dedupe literals.
+        """
+        automaton = Automaton(name=name, bits=bits)
+        ids = {}
+        for state, table in enumerate(self.goto):
+            for byte, target in table.items():
+                codes = self.output[target]
+                code = None
+                if codes:
+                    code = "+".join(sorted(str(c) for c in codes))
+                ids[target] = "n%d" % target
+                automaton.new_state(
+                    ids[target],
+                    SymbolSet.single(bits, byte),
+                    start=(StartKind.ALL_INPUT if state == 0
+                           else StartKind.NONE),
+                    report=bool(codes),
+                    report_code=code,
+                )
+        for state, table in enumerate(self.goto):
+            if state == 0:
+                continue
+            for target in table.values():
+                automaton.add_transition(ids[state], ids[target])
+        return automaton.validate()

@@ -1,0 +1,86 @@
+"""Throughput models for Figure 8.
+
+Overall throughput of an in-memory automata accelerator is
+
+    frequency x bits-per-cycle / reporting-overhead
+
+(paper Section 7.4) — *including* the reporting denominator that prior
+work dropped.  Sunder's reporting overhead is ~1.0; CA and Impala are
+evaluated with an AP-style (or AP+RAD) reporting architecture bolted on,
+as the paper does for an apples-to-apples comparison.
+"""
+
+from ..hwmodel.pipeline import (
+    CA_PIPELINE,
+    IMPALA_PIPELINE,
+    SUNDER_PIPELINE,
+    ap_frequency_ghz,
+)
+
+
+class ThroughputModel:
+    """One architecture's throughput law."""
+
+    def __init__(self, name, frequency_ghz, bits_per_cycle):
+        self.name = name
+        self.frequency_ghz = frequency_ghz
+        self.bits_per_cycle = bits_per_cycle
+
+    def kernel_gbps(self):
+        """Reporting-free (nominal) throughput in Gbit/s."""
+        return self.frequency_ghz * self.bits_per_cycle
+
+    def effective_gbps(self, reporting_overhead):
+        """Throughput after dividing by the reporting slowdown."""
+        if reporting_overhead < 1.0:
+            raise ValueError("reporting overhead cannot be below 1.0x")
+        return self.kernel_gbps() / reporting_overhead
+
+
+#: The five architectures of Figure 8 at their native rates.
+SUNDER_THROUGHPUT = ThroughputModel(
+    "Sunder", SUNDER_PIPELINE.operating_frequency_ghz, 16
+)
+IMPALA_THROUGHPUT = ThroughputModel(
+    "Impala", IMPALA_PIPELINE.operating_frequency_ghz, 16
+)
+CA_THROUGHPUT = ThroughputModel(
+    "CA", CA_PIPELINE.operating_frequency_ghz, 8
+)
+AP_50NM_THROUGHPUT = ThroughputModel("AP (50nm)", ap_frequency_ghz(50), 8)
+AP_14NM_THROUGHPUT = ThroughputModel("AP (14nm)", ap_frequency_ghz(14), 8)
+
+ALL_THROUGHPUT_MODELS = (
+    SUNDER_THROUGHPUT,
+    IMPALA_THROUGHPUT,
+    CA_THROUGHPUT,
+    AP_14NM_THROUGHPUT,
+    AP_50NM_THROUGHPUT,
+)
+
+
+def figure8_rows(sunder_overhead, ap_style_overhead, rad_overhead):
+    """Figure 8's bars: throughput under both reporting architectures.
+
+    ``sunder_overhead`` is Sunder's measured average reporting overhead
+    (~1.0); ``ap_style_overhead`` / ``rad_overhead`` are the averages
+    measured for the AP reporting architecture with and without RAD
+    (Table 4's last row — the paper's 4.69x and 2.23x).
+    """
+    rows = []
+    sunder_gbps = SUNDER_THROUGHPUT.effective_gbps(sunder_overhead)
+    for model in ALL_THROUGHPUT_MODELS:
+        if model is SUNDER_THROUGHPUT:
+            ap_gbps = rad_gbps = sunder_gbps
+        else:
+            ap_gbps = model.effective_gbps(ap_style_overhead)
+            rad_gbps = model.effective_gbps(rad_overhead)
+        rows.append({
+            "architecture": model.name,
+            "kernel_gbps": model.kernel_gbps(),
+            "ap_reporting_gbps": ap_gbps,
+            "rad_reporting_gbps": rad_gbps,
+            "sunder_speedup_ap": sunder_gbps / ap_gbps,
+            "sunder_speedup_rad": sunder_gbps / rad_gbps,
+        })
+    return rows

@@ -1,0 +1,256 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``      compile regexes to an automaton, print a summary or dump
+                 ANML/MNRL/DOT
+``match``        compile regexes, stream a file (or --text) through the
+                 bit-faithful Sunder device, print reports
+``transform``    show the nibble/striding overhead for given regexes
+``experiment``   run one paper experiment (table1..table5, figure8..10)
+``workload``     generate a synthetic benchmark and print its Table-1 row
+``trace``        cycle-by-cycle execution trace for debugging
+"""
+
+import argparse
+import sys
+
+from . import experiments
+from .automata import anml, mnrl
+from .automata.viz import outline, to_dot
+from .core import SunderConfig, SunderDevice
+from .errors import ReproError
+from .regex import compile_ruleset
+from .sim import stream_for
+from .sim.trace import Tracer
+from .transform import to_rate, transform_overhead
+from .workloads import BENCHMARK_NAMES, generate
+
+
+def _build_ruleset(patterns):
+    return compile_ruleset([(pattern, pattern) for pattern in patterns])
+
+
+def cmd_compile(args):
+    machine = _build_ruleset(args.patterns)
+    if args.format == "summary":
+        print(outline(machine, max_states=args.max_states))
+    elif args.format == "anml":
+        print(anml.dumps(machine))
+    elif args.format == "mnrl":
+        print(mnrl.dumps(machine, indent=2))
+    elif args.format == "dot":
+        print(to_dot(machine, max_states=args.max_states))
+    return 0
+
+
+def cmd_match(args):
+    machine = to_rate(_build_ruleset(args.patterns), args.rate)
+    device = SunderDevice(SunderConfig(rate_nibbles=args.rate,
+                                       report_bits=args.report_bits))
+    device.configure(machine)
+    if args.text is not None:
+        data = args.text.encode()
+    else:
+        with open(args.file, "rb") as handle:
+            data = handle.read()
+    vectors, limit = stream_for(machine, data)
+    result = device.run(vectors, position_limit=limit)
+    events = sorted(result.reports().events, key=lambda e: e.position)
+    for event in events:
+        print("%d\t%s" % (event.position // 2, event.report_code))
+    print("-- %d matches, %d cycles, %.3fx reporting overhead" % (
+        len(events), result.cycles, result.slowdown), file=sys.stderr)
+    return 0
+
+
+def cmd_transform(args):
+    machine = _build_ruleset(args.patterns)
+    overhead = transform_overhead(machine)
+    print("base: %(states)d states, %(transitions)d transitions"
+          % overhead["base"])
+    for rate in (1, 2, 4):
+        row = overhead[rate]
+        print("%d nibble(s): %5d states (%.2fx)  %5d transitions (%.2fx)" % (
+            rate, row["states"], row["state_ratio"],
+            row["transitions"], row["transition_ratio"],
+        ))
+    return 0
+
+
+def cmd_experiment(args):
+    module = experiments.ALL_EXPERIMENTS[args.name]
+    if args.name in ("table1", "table3", "table4", "figure8", "scorecard"):
+        module.main(scale=args.scale, seed=args.seed)
+    else:
+        module.main()
+    return 0
+
+
+def cmd_workload(args):
+    instance = generate(args.name, scale=args.scale, seed=args.seed)
+    row = instance.measured_behavior()
+    row.pop("recorder", None)
+    width = max(len(key) for key in row)
+    for key, value in row.items():
+        print("%-*s  %s" % (width, key, value))
+    return 0
+
+
+def cmd_plan(args):
+    machine = _build_ruleset(args.patterns)
+    from .core.capacity import recommend_rate
+    best, plans = recommend_rate(machine, args.clusters)
+    print("%-6s %-8s %-9s %-7s %-14s %s" % (
+        "rate", "states", "clusters", "rounds", "effective Gbps", ""))
+    for rate in sorted(plans):
+        plan = plans[rate]
+        marker = "  <- recommended" if plan is best else ""
+        print("%-6d %-8d %-9d %-7d %-14.1f%s" % (
+            plan.rate, plan.states, plan.clusters, plan.rounds,
+            plan.effective_gbps, marker))
+    return 0
+
+
+def cmd_compare(args):
+    """Sunder vs AP vs AP+RAD reporting overhead on user patterns+input."""
+    from .baselines import ApReportingModel
+    from .core import ReportingPerfModel, place, pu_fill_cycles_from_events
+    from .sim import BitsetEngine, ReportRecorder
+
+    machine = _build_ruleset(args.patterns)
+    if args.text is not None:
+        data = args.text.encode()
+    else:
+        with open(args.file, "rb") as handle:
+            data = handle.read()
+
+    recorder = ReportRecorder(keep_events=True)
+    BitsetEngine(machine).run(list(data), recorder)
+    report_ids = [s.id for s in machine.report_states()]
+    scale = max(1e-4, len(data) / 1_000_000.0)
+    ap = ApReportingModel(scale=scale).evaluate(
+        recorder.events, report_ids, len(data))
+    rad = ApReportingModel(rad=True, scale=scale).evaluate(
+        recorder.events, report_ids, len(data))
+
+    strided = to_rate(machine, 4)
+    vectors, limit = stream_for(strided, data)
+    strided_recorder = ReportRecorder(keep_events=True, position_limit=limit)
+    BitsetEngine(strided).run(vectors, strided_recorder)
+    config = SunderConfig(rate_nibbles=4, report_bits=args.report_bits)
+    placement = place(strided, config)
+    fills = pu_fill_cycles_from_events(strided_recorder.events, placement)
+    sunder = ReportingPerfModel(config).evaluate(
+        fills, len(vectors), capacity_scale=scale)
+
+    print("input: %d bytes, %d reports (%.2f%% of cycles)" % (
+        len(data), recorder.total_reports,
+        100.0 * recorder.report_cycles / max(1, len(data))))
+    print("reporting overhead:")
+    print("  Sunder (16-bit)  %6.2fx  (%d flushes)" % (
+        sunder.slowdown, sunder.flushes))
+    print("  AP (8-bit)       %6.2fx" % ap.slowdown)
+    print("  AP+RAD (8-bit)   %6.2fx" % rad.slowdown)
+    return 0
+
+
+def cmd_trace(args):
+    machine = _build_ruleset(args.patterns)
+    tracer = Tracer(machine)
+    tracer.run(list(args.text.encode()))
+    print(tracer.render(max_cycles=args.max_cycles))
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Sunder (MICRO'21) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser(
+        "compile", help="compile regexes to an automaton")
+    compile_parser.add_argument("patterns", nargs="+")
+    compile_parser.add_argument("--format", default="summary",
+                                choices=["summary", "anml", "mnrl", "dot"])
+    compile_parser.add_argument("--max-states", type=int, default=200)
+    compile_parser.set_defaults(func=cmd_compile)
+
+    match_parser = commands.add_parser(
+        "match", help="run patterns over input on the Sunder device")
+    match_parser.add_argument("patterns", nargs="+")
+    source = match_parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--file")
+    source.add_argument("--text")
+    match_parser.add_argument("--rate", type=int, default=4,
+                              choices=[1, 2, 4])
+    match_parser.add_argument("--report-bits", type=int, default=16)
+    match_parser.set_defaults(func=cmd_match)
+
+    transform_parser = commands.add_parser(
+        "transform", help="show nibble/striding overhead")
+    transform_parser.add_argument("patterns", nargs="+")
+    transform_parser.set_defaults(func=cmd_transform)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="run one paper experiment")
+    experiment_parser.add_argument(
+        "name", choices=sorted(experiments.ALL_EXPERIMENTS))
+    experiment_parser.add_argument("--scale", type=float, default=0.01)
+    experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.set_defaults(func=cmd_experiment)
+
+    workload_parser = commands.add_parser(
+        "workload", help="generate a benchmark and print its statistics")
+    workload_parser.add_argument("name", choices=list(BENCHMARK_NAMES))
+    workload_parser.add_argument("--scale", type=float, default=0.01)
+    workload_parser.add_argument("--seed", type=int, default=0)
+    workload_parser.set_defaults(func=cmd_workload)
+
+    plan_parser = commands.add_parser(
+        "plan", help="recommend a processing rate for a ruleset")
+    plan_parser.add_argument("patterns", nargs="+")
+    plan_parser.add_argument("--clusters", type=int, default=8)
+    plan_parser.set_defaults(func=cmd_plan)
+
+    compare_parser = commands.add_parser(
+        "compare", help="Sunder vs AP reporting overhead on your input")
+    compare_parser.add_argument("patterns", nargs="+")
+    compare_source = compare_parser.add_mutually_exclusive_group(required=True)
+    compare_source.add_argument("--file")
+    compare_source.add_argument("--text")
+    compare_parser.add_argument("--report-bits", type=int, default=16)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    trace_parser = commands.add_parser(
+        "trace", help="cycle-by-cycle execution trace")
+    trace_parser.add_argument("patterns", nargs="+")
+    trace_parser.add_argument("--text", required=True)
+    trace_parser.add_argument("--max-cycles", type=int, default=100)
+    trace_parser.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print("error: %s" % error, file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into a consumer (head, less) that exited early.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Sunder device configuration (paper Sections 5 & 7.1 parameters)."""
+
+import math
+
+from ..errors import ArchitectureError
+
+#: One-hot rows consumed per nibble position.
+ROWS_PER_NIBBLE = 16
+#: Subarray geometry (matches a Xeon L3 slice subarray).
+SUBARRAY_ROWS = 256
+SUBARRAY_COLS = 256
+#: Processing units ganged by one global switch (up to 1024 states).
+PUS_PER_CLUSTER = 4
+
+
+class SunderConfig:
+    """All knobs of one Sunder device.
+
+    Parameters mirror the paper's "parameter selection" paragraph:
+    ``report_bits`` (m) is 12 because on average 3.9% of 256 states are
+    reporting states; ``metadata_bits`` (n) is 20, enough to count the
+    cycles of a 1MB input.
+
+    Performance-model knobs (documented in EXPERIMENTS.md):
+
+    - ``flush_rows_per_cycle``: rows the host drains per stalled cycle
+      during a stop-and-flush (wide on-chip path, Section 6's ``clflush``
+      route).
+    - ``fifo_drain_rows_per_cycle``: Port-1 background drain rate of the
+      FIFO strategy (fractional: 0.25 means one row every 4 cycles).
+    - ``summarize_batch_rows``: rows NORed per multi-row activation when
+      summarizing (16 in the paper), each batch stalling matching
+      ``summarize_stall_cycles``.
+    """
+
+    def __init__(
+        self,
+        rate_nibbles=4,
+        report_bits=12,
+        metadata_bits=20,
+        fifo=True,
+        flush_rows_per_cycle=64,
+        fifo_drain_rows_per_cycle=0.25,
+        summarize_batch_rows=16,
+        summarize_stall_cycles=2,
+        subarray_rows=SUBARRAY_ROWS,
+        subarray_cols=SUBARRAY_COLS,
+    ):
+        if rate_nibbles not in (1, 2, 4):
+            raise ArchitectureError(
+                "processing rate must be 1, 2, or 4 nibbles, got %r" % rate_nibbles
+            )
+        if report_bits < 1 or report_bits > subarray_cols:
+            raise ArchitectureError("report_bits out of range")
+        if metadata_bits < 1:
+            raise ArchitectureError("metadata_bits must be positive")
+        if report_bits + metadata_bits > subarray_cols:
+            raise ArchitectureError(
+                "a report entry (%d bits) does not fit in a %d-bit row"
+                % (report_bits + metadata_bits, subarray_cols)
+            )
+        self.rate_nibbles = rate_nibbles
+        self.report_bits = report_bits
+        self.metadata_bits = metadata_bits
+        self.fifo = fifo
+        self.flush_rows_per_cycle = flush_rows_per_cycle
+        self.fifo_drain_rows_per_cycle = fifo_drain_rows_per_cycle
+        self.summarize_batch_rows = summarize_batch_rows
+        self.summarize_stall_cycles = summarize_stall_cycles
+        self.subarray_rows = subarray_rows
+        self.subarray_cols = subarray_cols
+
+    # ------------------------------------------------------------------
+    @property
+    def bits_per_cycle(self):
+        """Input bits consumed per cycle (4, 8, or 16)."""
+        return 4 * self.rate_nibbles
+
+    @property
+    def matching_rows(self):
+        """Rows reserved for one-hot nibble encodings (16 per nibble)."""
+        return ROWS_PER_NIBBLE * self.rate_nibbles
+
+    @property
+    def report_rows(self):
+        """Rows left over for the reporting region."""
+        return self.subarray_rows - self.matching_rows
+
+    @property
+    def entry_bits(self):
+        """Bits of one report entry (report data + cycle metadata)."""
+        return self.report_bits + self.metadata_bits
+
+    @property
+    def entries_per_row(self):
+        """Report entries packed into one 256-bit row."""
+        return self.subarray_cols // self.entry_bits
+
+    @property
+    def report_capacity(self):
+        """Total report entries one subarray can hold before flushing."""
+        return self.report_rows * self.entries_per_row
+
+    def local_counter_bits(self):
+        """Equation (1): bits of the per-subarray write-pointer counter."""
+        row_bits = math.ceil(math.log2(self.report_rows))
+        slot_bits = math.ceil(math.log2(self.subarray_cols / self.entry_bits))
+        return row_bits + slot_bits
+
+    def __repr__(self):
+        return (
+            "SunderConfig(rate=%d nibbles, m=%d, n=%d, fifo=%s, "
+            "capacity=%d entries)" % (
+                self.rate_nibbles, self.report_bits, self.metadata_bits,
+                self.fifo, self.report_capacity,
+            )
+        )

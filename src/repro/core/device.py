@@ -1,0 +1,360 @@
+"""The Sunder device: clusters of processing units executing an automaton.
+
+This is the hardware-faithful execution path — every match goes through a
+bit-level subarray model, every report is physically written into (and
+later decoded back out of) the reporting rows.  It is differential-tested
+against :class:`~repro.sim.engine.BitsetEngine`, which is the point: the
+architecture provably computes the same language as the abstract NFA.
+
+For large parameter sweeps use :mod:`repro.core.perfmodel`, which
+reproduces only the timing behaviour from a report profile.
+"""
+
+from ..errors import ArchitectureError
+from ..sim.reports import ReportRecorder
+from .config import PUS_PER_CLUSTER, SunderConfig
+from .interconnect import GlobalSwitch
+from .mapping import place
+from .pu import ProcessingUnit
+
+
+class HostArchive:
+    """Host-side store of report entries shipped off a PU's region."""
+
+    def __init__(self):
+        self.batches = []
+
+    def __call__(self, entries):
+        self.batches.append(entries)
+
+    def entries(self):
+        """All received entries in arrival order."""
+        return [entry for batch in self.batches for entry in batch]
+
+
+class _Cluster:
+    """Four PUs plus their global switch."""
+
+    def __init__(self, config):
+        self.pus = []
+        self.archives = []
+        for _ in range(PUS_PER_CLUSTER):
+            archive = HostArchive()
+            self.pus.append(ProcessingUnit(config, sink=archive))
+            self.archives.append(archive)
+        self.global_switch = GlobalSwitch(PUS_PER_CLUSTER, config.subarray_cols)
+
+
+class SunderDevice:
+    """A configured Sunder device ready to stream input.
+
+    Typical use::
+
+        device = SunderDevice(config)
+        device.configure(strided_automaton)
+        result = device.run(vectors, position_limit=...)
+    """
+
+    def __init__(self, config=None, max_clusters=None):
+        self.config = config if config is not None else SunderConfig()
+        self.max_clusters = max_clusters
+        self.clusters = []
+        self.placement = None
+        self.automaton = None
+        self.global_cycle = 0
+        #: "automata" (AM) or "normal" (NM) — paper Section 5.1: in NM the
+        #: subarrays behave as ordinary cache storage and matching halts.
+        self.mode = "automata"
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def configure(self, automaton):
+        """Place and program ``automaton``; returns the placement."""
+        if automaton.bits != 4:
+            raise ArchitectureError(
+                "Sunder matches 4-bit nibbles; transform the automaton first "
+                "(repro.transform.to_rate)"
+            )
+        placement = place(automaton, self.config, max_clusters=self.max_clusters)
+        self.clusters = [_Cluster(self.config) for _ in range(placement.clusters_used)]
+        for state in automaton:
+            slot = placement.slot_of(state.id)
+            self.clusters[slot.cluster].pus[slot.pu].configure_state(
+                slot.column, state
+            )
+        for src, dst in automaton.transitions():
+            src_slot = placement.slot_of(src)
+            dst_slot = placement.slot_of(dst)
+            if src_slot.cluster != dst_slot.cluster:
+                raise ArchitectureError(
+                    "placement split a component across clusters"
+                )
+            cluster = self.clusters[src_slot.cluster]
+            if src_slot.pu == dst_slot.pu:
+                cluster.pus[src_slot.pu].program_edge(
+                    src_slot.column, dst_slot.column
+                )
+            else:
+                cluster.global_switch.program_edge(
+                    src_slot.pu, src_slot.column, dst_slot.pu, dst_slot.column
+                )
+        self.placement = placement
+        self.automaton = automaton
+        self.global_cycle = 0
+        return placement
+
+    # ------------------------------------------------------------------
+    # Runtime
+    # ------------------------------------------------------------------
+    def set_mode(self, mode):
+        """Switch between Automata Mode and Normal (cache) Mode."""
+        if mode not in ("automata", "normal"):
+            raise ArchitectureError("mode must be 'automata' or 'normal'")
+        self.mode = mode
+
+    def step(self, vector):
+        """Execute one vector cycle; returns stall cycles charged."""
+        if self.placement is None:
+            raise ArchitectureError("configure() must run before step()")
+        if self.mode != "automata":
+            raise ArchitectureError(
+                "device is in Normal Mode; call set_mode('automata') first"
+            )
+        cycle = self.global_cycle
+        start_boundary = cycle % self.automaton.start_period == 0
+        stall = 0
+        all_regions = []
+        for cluster in self.clusters:
+            actives = []
+            for pu in cluster.pus:
+                _, pu_stall = pu.match_cycle(vector, cycle, start_boundary)
+                stall += pu_stall
+                all_regions.append(pu.reporting)
+            for pu in cluster.pus:
+                actives.append(pu.active)
+            remote = cluster.global_switch.propagate(actives)
+            for index, pu in enumerate(cluster.pus):
+                pu.set_enable(pu.propagate() | remote[index])
+        self._fifo_drain(all_regions)
+        self.global_cycle += 1
+        return stall
+
+    def _fifo_drain(self, regions):
+        """Share the host's drain bandwidth across non-empty regions."""
+        if not self.config.fifo:
+            return
+        if not hasattr(self, "_drain_credit"):
+            self._drain_credit = 0.0
+        self._drain_credit += (
+            self.config.fifo_drain_rows_per_cycle * self.config.entries_per_row
+        )
+        budget = int(self._drain_credit)
+        if budget <= 0:
+            return
+        pending = [region for region in regions if region.count > 0]
+        for region in pending:
+            if budget <= 0:
+                break
+            drained = region.tick(max_entries=budget)
+            budget -= drained
+        self._drain_credit -= int(self._drain_credit) - budget
+
+    def run(self, vectors, position_limit=None):
+        """Stream a whole input; returns a :class:`RunResult`."""
+        total_stall = 0
+        vectors = list(vectors)
+        for vector in vectors:
+            if isinstance(vector, int):
+                vector = (vector,)
+            total_stall += self.step(tuple(vector))
+        return RunResult(self, len(vectors), total_stall, position_limit)
+
+    # ------------------------------------------------------------------
+    # Host interface (Section 5.1.2's access mechanisms)
+    # ------------------------------------------------------------------
+    def iter_pus(self):
+        """Yield ``(cluster_index, pu_index, pu)`` for every PU."""
+        for cluster_index, cluster in enumerate(self.clusters):
+            for pu_index, pu in enumerate(cluster.pus):
+                yield cluster_index, pu_index, pu
+
+    def report_events(self, position_limit=None):
+        """Reconstruct every report as a recorder, from the hardware state.
+
+        Combines entries the host already received (flushes + FIFO drains)
+        with entries still resident in the reporting regions, then decodes
+        report bits back to state identities.  Cycle metadata is unwrapped
+        modulo ``2**metadata_bits`` assuming in-order arrival.
+        """
+        recorder = ReportRecorder(position_limit=position_limit)
+        modulus = 1 << self.config.metadata_bits
+        arity = self.config.rate_nibbles
+        for cluster_index, cluster in enumerate(self.clusters):
+            for pu_index, pu in enumerate(cluster.pus):
+                archive = cluster.archives[pu_index]
+                entries = archive.entries() + pu.reporting.read_entries()
+                last_cycle = 0
+                for entry in entries:
+                    cycle = _unwrap(entry.cycle, last_cycle, modulus)
+                    last_cycle = cycle
+                    for state_id in pu.decode_report_columns(entry.report_vector):
+                        state = self.automaton.state(state_id)
+                        for offset in state.report_offsets:
+                            recorder.record(
+                                cycle * arity + offset, cycle, state_id,
+                                state.report_code,
+                            )
+        return recorder
+
+    def save_context(self):
+        """Snapshot the dynamic matching state (per-flow context switch).
+
+        Network processing interleaves flows; each flow needs its own
+        automata state.  The dynamic state is tiny — one enable vector and
+        the cycle counter per PU — so contexts swap in O(PUs) row writes.
+        Report-region contents stay put (reports already belong to the
+        flow that generated them and carry cycle metadata).
+        """
+        return {
+            "global_cycle": self.global_cycle,
+            "enables": [
+                (cluster_index, pu_index, pu.enable.copy(), pu.active.copy())
+                for cluster_index, pu_index, pu in self.iter_pus()
+            ],
+        }
+
+    def load_context(self, context):
+        """Restore a snapshot taken by :meth:`save_context`."""
+        if self.placement is None:
+            raise ArchitectureError("configure() must run before load_context()")
+        self.global_cycle = context["global_cycle"]
+        for cluster_index, pu_index, enable, active in context["enables"]:
+            pu = self.clusters[cluster_index].pus[pu_index]
+            pu.enable = enable.copy()
+            pu.active = active.copy()
+
+    def reset_matching_state(self):
+        """Clear all dynamic matching state (start a fresh stream)."""
+        for _, _, pu in self.iter_pus():
+            pu.enable = pu.enable & False
+            pu.active = pu.active & False
+        self.global_cycle = 0
+
+    def describe(self):
+        """Text description of the configured layout (debug aid)."""
+        if self.placement is None:
+            return "SunderDevice (unconfigured)"
+        lines = [
+            "SunderDevice: rate=%d nibbles (%d bits/cycle), %d cluster(s)" % (
+                self.config.rate_nibbles, self.config.bits_per_cycle,
+                len(self.clusters),
+            ),
+            "subarray: rows 0-%d matching, rows %d-%d reporting "
+            "(%d entries of %db+%db)" % (
+                self.config.matching_rows - 1, self.config.matching_rows,
+                self.config.subarray_rows - 1, self.config.report_capacity,
+                self.config.report_bits, self.config.metadata_bits,
+            ),
+        ]
+        for cluster_index, pu_index, pu in self.iter_pus():
+            configured = sum(
+                1 for state in pu.state_of_column if state is not None
+            )
+            if configured == 0:
+                continue
+            reporting = int(pu.report_column_mask.sum())
+            lines.append(
+                "  cluster %d PU %d: %d states (%d reporting), "
+                "%d report entries buffered" % (
+                    cluster_index, pu_index, configured, reporting,
+                    pu.reporting.count,
+                )
+            )
+        return "\n".join(lines)
+
+    def live_report_status(self):
+        """Selective reporting: which reporting states are active *now*.
+
+        The paper's Section 5.1.2 highlight — the host can read any
+        state's report status at any cycle in constant time, because the
+        reporting-enabled columns of the active-state vector are directly
+        addressable.  Returns ``{state_id: True}`` for currently-active
+        reporting states.
+        """
+        status = {}
+        for _, _, pu in self.iter_pus():
+            active_reports = pu.active & pu.report_column_mask
+            for state_id in pu.decode_report_columns(
+                active_reports[pu.report_column_base:]
+            ):
+                status[state_id] = True
+        return status
+
+    def summarize_all(self):
+        """Report summarization across every PU.
+
+        Returns ``(summary, stall_cycles)`` where ``summary`` maps state
+        ids to True if that state reported since the last flush.
+        """
+        summary = {}
+        stall = 0
+        for _, _, pu in self.iter_pus():
+            bits, pu_stall = pu.reporting.summarize()
+            stall += pu_stall
+            for state_id in pu.decode_report_columns(bits):
+                summary[state_id] = True
+        return summary, stall
+
+    # ------------------------------------------------------------------
+    def statistics(self):
+        """Aggregate device counters."""
+        flushes = 0
+        stall_cycles = 0
+        buffered = 0
+        for _, _, pu in self.iter_pus():
+            flushes += pu.reporting.flushes
+            stall_cycles += pu.reporting.stall_cycles
+            buffered += pu.reporting.count
+        return {
+            "cycles": self.global_cycle,
+            "flushes": flushes,
+            "stall_cycles": stall_cycles,
+            "buffered_entries": buffered,
+            "pus": sum(1 for _ in self.iter_pus()),
+        }
+
+
+class RunResult:
+    """Outcome of :meth:`SunderDevice.run`."""
+
+    def __init__(self, device, cycles, stall_cycles, position_limit):
+        self.device = device
+        self.cycles = cycles
+        self.stall_cycles = stall_cycles
+        self.position_limit = position_limit
+
+    @property
+    def slowdown(self):
+        """(kernel + stall cycles) / kernel cycles — Table 4's overhead."""
+        if self.cycles == 0:
+            return 1.0
+        return (self.cycles + self.stall_cycles) / self.cycles
+
+    def reports(self):
+        """Reconstructed report recorder (see ``report_events``)."""
+        return self.device.report_events(position_limit=self.position_limit)
+
+
+def _unwrap(value, last, modulus):
+    """Unwrap a truncated counter to the epoch nearest the previous value.
+
+    Entries are *usually* monotone (one stream), but context switching
+    interleaves flows whose flow-local cycles may step backward by small
+    amounts; choosing the non-negative candidate closest to ``last``
+    handles both that and genuine wraparound.
+    """
+    base = (last // modulus) * modulus
+    candidates = [base - modulus + value, base + value, base + modulus + value]
+    feasible = [c for c in candidates if c >= 0]
+    return min(feasible, key=lambda c: abs(c - last))

@@ -1,0 +1,100 @@
+"""Host integration model — Section 6's memory-mapped access sketch.
+
+Sunder repurposes LLC slices; the host reaches a subarray row through a
+physical address that survives the slice-hash and way-restriction games
+(reverse-engineered hash + Intel CAT).  This module models the *visible*
+interface: a flat address map over (cluster, pu, row), plus the three
+host verbs — configuration writes, report loads, and ``clflush``-style
+report eviction.  It exists so the examples and tests can exercise an
+end-to-end "host reads its reports back by address" flow.
+"""
+
+from ..errors import ArchitectureError
+
+#: Bytes per subarray row (256 bits).
+ROW_BYTES = 32
+
+
+class AddressMap:
+    """Flat physical address layout of a Sunder device.
+
+    Layout (row-granular): ``cluster -> pu -> row``.  Addresses are byte
+    addresses aligned to :data:`ROW_BYTES`.
+    """
+
+    def __init__(self, device, base_address=0x1_0000_0000):
+        self.device = device
+        self.base_address = base_address
+        self.rows_per_pu = device.config.subarray_rows
+        self.pus_per_cluster = len(device.clusters[0].pus) if device.clusters else 0
+
+    def address_of(self, cluster, pu, row):
+        """Physical byte address of one subarray row."""
+        self._check(cluster, pu, row)
+        rows_per_cluster = self.pus_per_cluster * self.rows_per_pu
+        row_index = (
+            cluster * rows_per_cluster + pu * self.rows_per_pu + row
+        )
+        return self.base_address + row_index * ROW_BYTES
+
+    def locate(self, address):
+        """Inverse of :meth:`address_of`; returns ``(cluster, pu, row)``."""
+        offset = address - self.base_address
+        if offset < 0 or offset % ROW_BYTES:
+            raise ArchitectureError("address 0x%x not row-aligned" % address)
+        row_index = offset // ROW_BYTES
+        rows_per_cluster = self.pus_per_cluster * self.rows_per_pu
+        cluster, remainder = divmod(row_index, rows_per_cluster)
+        pu, row = divmod(remainder, self.rows_per_pu)
+        self._check(cluster, pu, row)
+        return cluster, pu, row
+
+    def _check(self, cluster, pu, row):
+        if not 0 <= cluster < len(self.device.clusters):
+            raise ArchitectureError("cluster %d out of range" % cluster)
+        if not 0 <= pu < self.pus_per_cluster:
+            raise ArchitectureError("pu %d out of range" % pu)
+        if not 0 <= row < self.rows_per_pu:
+            raise ArchitectureError("row %d out of range" % row)
+
+
+class HostInterface:
+    """The three host verbs over an :class:`AddressMap`."""
+
+    def __init__(self, device):
+        self.device = device
+        self.address_map = AddressMap(device)
+        self.flushed_rows = []
+
+    def _pu(self, cluster, pu):
+        return self.device.clusters[cluster].pus[pu]
+
+    def load_row(self, address):
+        """Host load: read one subarray row (Port 1) by address."""
+        cluster, pu, row = self.address_map.locate(address)
+        return self._pu(cluster, pu).subarray.read_row(row)
+
+    def store_row(self, address, bits):
+        """Host store: configuration write of one row by address."""
+        cluster, pu, row = self.address_map.locate(address)
+        self._pu(cluster, pu).subarray.write_row(row, bits)
+
+    def clflush_report_region(self, cluster, pu):
+        """Evict a PU's used report rows to DRAM for post-processing.
+
+        Returns the number of rows captured into :attr:`flushed_rows`.
+        """
+        unit = self._pu(cluster, pu)
+        region = unit.reporting
+        captured = 0
+        for row in range(region.first_row, region.first_row + region.used_rows):
+            self.flushed_rows.append(
+                (self.address_map.address_of(cluster, pu, row),
+                 unit.subarray.read_row(row))
+            )
+            captured += 1
+        return captured
+
+    def read_report_entries(self, cluster, pu):
+        """Selective reporting: decode one PU's live entries by load."""
+        return self._pu(cluster, pu).reporting.read_entries()

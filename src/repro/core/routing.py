@@ -1,0 +1,167 @@
+"""Interconnect design-space analysis: is a full crossbar necessary?
+
+Section 5.2 argues for a memory-mapped *full* crossbar: "since every
+column intersects with every row, the interconnect provides connections
+between every pair of 256 states, thus avoiding interconnect congestion
+even for highly connected NFA".  Cheaper interconnects (banked crossbars,
+bounded-fanout switch boxes, neighbour meshes — the FPGA/eAP design
+space) may fail to route some automata.
+
+This module evaluates, for a placed automaton, whether a given
+interconnect model routes it, and with how much slack — the evidence
+behind the full-crossbar choice (see the companion ablation bench).
+"""
+
+from ..errors import ArchitectureError
+
+
+class InterconnectModel:
+    """Base class: can a placed automaton's edges be routed?"""
+
+    name = "abstract"
+
+    def check_edge(self, src_slot, dst_slot):
+        """True when one intra-cluster edge is routable."""
+        raise NotImplementedError
+
+    def evaluate(self, automaton, placement):
+        """Routability report for every edge of ``automaton``.
+
+        Returns a dict with total/routable edge counts and the failure
+        list (truncated to 16 examples).
+        """
+        total = 0
+        failed = []
+        for src, dst in automaton.transitions():
+            total += 1
+            src_slot = placement.slot_of(src)
+            dst_slot = placement.slot_of(dst)
+            if src_slot.cluster != dst_slot.cluster:
+                raise ArchitectureError("edge crosses clusters")
+            if not self.check_edge(src_slot, dst_slot):
+                if len(failed) < 16:
+                    failed.append((src, dst))
+        return {
+            "interconnect": self.name,
+            "edges": total,
+            "routable": total - self._failure_count,
+            "routable_pct": (
+                100.0 * (total - self._failure_count) / total if total
+                else 100.0
+            ),
+            "failures": failed,
+        }
+
+    def _reset(self):
+        self._failure_count = 0
+
+
+class FullCrossbar(InterconnectModel):
+    """The paper's design: every (row, column) pair exists."""
+
+    name = "full-crossbar"
+
+    def evaluate(self, automaton, placement):
+        self._reset()
+        return super().evaluate(automaton, placement)
+
+    def check_edge(self, src_slot, dst_slot):
+        return True
+
+
+class BankedCrossbar(InterconnectModel):
+    """Columns divided into banks; cross-bank wires share limited ports.
+
+    Intra-bank edges always route; an edge between banks consumes one of
+    ``ports_per_bank_pair`` shared wires (counted per direction).  Models
+    segmented-crossbar area savings.
+    """
+
+    def __init__(self, bank_size=64, ports_per_bank_pair=16):
+        self.bank_size = bank_size
+        self.ports_per_bank_pair = ports_per_bank_pair
+        self.name = "banked-%d/%d" % (bank_size, ports_per_bank_pair)
+
+    def evaluate(self, automaton, placement):
+        self._reset()
+        self._used_ports = {}
+        return super().evaluate(automaton, placement)
+
+    def check_edge(self, src_slot, dst_slot):
+        if src_slot.pu != dst_slot.pu:
+            return True  # inter-PU edges use the global switch
+        src_bank = src_slot.column // self.bank_size
+        dst_bank = dst_slot.column // self.bank_size
+        if src_bank == dst_bank:
+            return True
+        key = (src_slot.pu, src_bank, dst_bank)
+        used = self._used_ports.get(key, 0)
+        if used >= self.ports_per_bank_pair:
+            self._failure_count += 1
+            return False
+        self._used_ports[key] = used + 1
+        return True
+
+
+class BoundedFanIn(InterconnectModel):
+    """Switch-box style interconnect: each state accepts at most k parents.
+
+    FPGA routing fabrics and reduced switch matrices bound fan-in; highly
+    shared states (start fan-outs, SPM gap hubs) exceed small k.
+    """
+
+    def __init__(self, max_fan_in=4):
+        self.max_fan_in = max_fan_in
+        self.name = "fan-in<=%d" % max_fan_in
+
+    def evaluate(self, automaton, placement):
+        self._reset()
+        self._fan_in = {}
+        return super().evaluate(automaton, placement)
+
+    def check_edge(self, src_slot, dst_slot):
+        key = (dst_slot.cluster, dst_slot.pu, dst_slot.column)
+        count = self._fan_in.get(key, 0) + 1
+        self._fan_in[key] = count
+        if count > self.max_fan_in:
+            self._failure_count += 1
+            return False
+        return True
+
+
+class NeighborMesh(InterconnectModel):
+    """Mesh-style locality: an edge reaches at most ``reach`` columns away.
+
+    The cheapest possible wiring (nearest-neighbour tracks); placement
+    order decides routability, so this measures how far from "local" real
+    automata connectivity is.
+    """
+
+    def __init__(self, reach=8):
+        self.reach = reach
+        self.name = "mesh-reach-%d" % reach
+
+    def evaluate(self, automaton, placement):
+        self._reset()
+        return super().evaluate(automaton, placement)
+
+    def check_edge(self, src_slot, dst_slot):
+        if src_slot.pu != dst_slot.pu:
+            self._failure_count += 1
+            return False
+        if abs(src_slot.column - dst_slot.column) > self.reach:
+            self._failure_count += 1
+            return False
+        return True
+
+
+def routability_study(automaton, placement, models=None):
+    """Evaluate several interconnect models on one placed automaton."""
+    if models is None:
+        models = [
+            FullCrossbar(),
+            BankedCrossbar(bank_size=64, ports_per_bank_pair=16),
+            BoundedFanIn(max_fan_in=4),
+            NeighborMesh(reach=8),
+        ]
+    return [model.evaluate(automaton, placement) for model in models]

@@ -1,0 +1,88 @@
+"""Intel LLC slice-hash model — paper Section 6's integration obstacle.
+
+Sunder repurposes LLC slices, but Sandy-Bridge-class LLCs spread physical
+addresses across slices with an undocumented XOR hash; configuring a
+specific subarray needs *flat* access to one slice.  The paper points to
+the reverse-engineered hash of Maurice et al. (RAID'15): each slice-index
+bit is the XOR (parity) of a fixed subset of physical address bits.
+
+This module implements that hash family, the published 2/4/8-slice bit
+masks, and the inverse problem Sunder's runtime must solve: given a
+target slice, enumerate addresses that land on it (by fixing the hash
+parity with high address bits, exactly what the 1GB-page trick enables).
+"""
+
+from ..errors import ArchitectureError
+
+#: Published parity masks (Maurice et al.): bit i of the slice index is
+#: the parity of (address & mask).  Addresses are physical byte addresses.
+MAURICE_MASKS = {
+    2: (0x1B5F575440,),
+    4: (0x1B5F575440, 0x2EB5FAA880),
+    8: (0x1B5F575440, 0x2EB5FAA880, 0x3CCCC93100),
+}
+
+
+def _parity(value):
+    value ^= value >> 32
+    value ^= value >> 16
+    value ^= value >> 8
+    value ^= value >> 4
+    value ^= value >> 2
+    value ^= value >> 1
+    return value & 1
+
+
+class SliceHash:
+    """The XOR slice hash for a 2-, 4-, or 8-slice LLC."""
+
+    def __init__(self, num_slices):
+        if num_slices not in MAURICE_MASKS:
+            raise ArchitectureError(
+                "slice hash published for 2/4/8 slices, not %r" % num_slices
+            )
+        self.num_slices = num_slices
+        self.masks = MAURICE_MASKS[num_slices]
+
+    def slice_of(self, address):
+        """Slice index of a physical address."""
+        if address < 0:
+            raise ArchitectureError("negative physical address")
+        index = 0
+        for bit, mask in enumerate(self.masks):
+            index |= _parity(address & mask) << bit
+        return index
+
+    def addresses_in_slice(self, target_slice, count, start=0, stride=64):
+        """First ``count`` cache-line addresses (from ``start``) in a slice.
+
+        This is the scan Sunder's configuration runtime performs over a
+        large contiguous mapping to find rows belonging to the repurposed
+        slice.  ``stride`` is the cache-line size (hash granularity).
+        """
+        if not 0 <= target_slice < self.num_slices:
+            raise ArchitectureError(
+                "slice %d out of range (%d slices)"
+                % (target_slice, self.num_slices)
+            )
+        found = []
+        address = start
+        # The hash balances slices, so ~count*num_slices lines suffice;
+        # 4x head-room keeps the scan bounded if start is adversarial.
+        limit = start + 4 * count * self.num_slices * stride + stride
+        while len(found) < count and address < limit:
+            if self.slice_of(address) == target_slice:
+                found.append(address)
+            address += stride
+        if len(found) < count:
+            raise ArchitectureError(
+                "could not find %d lines in slice %d" % (count, target_slice)
+            )
+        return found
+
+    def slice_histogram(self, start, count, stride=64):
+        """Line counts per slice over a contiguous range (balance check)."""
+        histogram = [0] * self.num_slices
+        for index in range(count):
+            histogram[self.slice_of(start + index * stride)] += 1
+        return histogram

@@ -1,0 +1,123 @@
+"""Bit-level model of a dual-port 8T SRAM subarray (paper Section 5.1.3).
+
+The 8T cell adds a read-only second port to the classic 6T cell: Port 1
+reads/writes rows through the write wordlines (the left-side 8:256
+decoder), while Port 2 senses BL2.  A cell pulls BL2 low when it stores
+'1' *and* its row is activated, so with several rows activated at once
+BL2 computes the **wired-NOR** of the activated rows — the primitive
+behind both multi-nibble state matching and report summarization.
+
+This model is deliberately literal (a numpy bit matrix plus the two port
+operations) so the architectural layers above it can be checked against
+the functional simulator bit for bit.
+"""
+
+import numpy as np
+
+from ..errors import ArchitectureError
+
+#: Maximum simultaneously-activated wordlines; Jeloka et al. verified 64
+#: across 20 fabricated chips by lowering the wordline voltage.
+MAX_ACTIVATED_ROWS = 64
+
+
+class SramSubarray:
+    """One ``rows x cols`` subarray of dual-port 8T cells.
+
+    Access statistics (reads/writes per port) are counted so the
+    performance model can derive energy and bandwidth figures.
+    """
+
+    def __init__(self, rows=256, cols=256):
+        if rows < 1 or cols < 1:
+            raise ArchitectureError("subarray dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.cells = np.zeros((rows, cols), dtype=bool)
+        self.port1_reads = 0
+        self.port1_writes = 0
+        self.port2_reads = 0
+
+    # ------------------------------------------------------------------
+    # Port 1: read/write through the row decoder (normal SRAM behaviour).
+    # ------------------------------------------------------------------
+    def _check_row(self, row):
+        if not 0 <= row < self.rows:
+            raise ArchitectureError(
+                "row %d out of range for a %dx%d subarray"
+                % (row, self.rows, self.cols)
+            )
+
+    def write_row(self, row, bits):
+        """Write a full row through Port 1."""
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=bool)
+        if bits.shape != (self.cols,):
+            raise ArchitectureError(
+                "row data must have %d bits, got shape %s"
+                % (self.cols, bits.shape)
+            )
+        self.cells[row] = bits
+        self.port1_writes += 1
+
+    def write_bits(self, row, start_col, bits):
+        """Write a bit slice ``[start_col, start_col+len)`` of one row.
+
+        Models a masked write: only the selected bitlines are pre-charged
+        (how the reporting region appends one entry within a row).
+        """
+        self._check_row(row)
+        bits = np.asarray(bits, dtype=bool)
+        end_col = start_col + bits.shape[0]
+        if start_col < 0 or end_col > self.cols:
+            raise ArchitectureError(
+                "column slice [%d, %d) out of range" % (start_col, end_col)
+            )
+        self.cells[row, start_col:end_col] = bits
+        self.port1_writes += 1
+
+    def read_row(self, row):
+        """Read a full row through Port 1 (row buffer A)."""
+        self._check_row(row)
+        self.port1_reads += 1
+        return self.cells[row].copy()
+
+    # ------------------------------------------------------------------
+    # Port 2: multi-row activation, wired-NOR on BL2 (row buffer B).
+    # ------------------------------------------------------------------
+    def wired_nor(self, rows):
+        """NOR of the activated ``rows``, per column.
+
+        BL2 stays precharged-high only for columns where *no* activated
+        cell stores a '1'.  Activating more than
+        :data:`MAX_ACTIVATED_ROWS` rows raises — the circuit's stability
+        limit.
+        """
+        rows = list(rows)
+        if not rows:
+            raise ArchitectureError("wired-NOR needs at least one activated row")
+        if len(rows) > MAX_ACTIVATED_ROWS:
+            raise ArchitectureError(
+                "cannot activate %d rows at once (limit %d)"
+                % (len(rows), MAX_ACTIVATED_ROWS)
+            )
+        for row in rows:
+            self._check_row(row)
+        self.port2_reads += 1
+        return ~np.any(self.cells[rows, :], axis=0)
+
+    def wired_or(self, rows):
+        """OR of the activated rows (inverted sense amplifier output)."""
+        return ~self.wired_nor(rows)
+
+    # ------------------------------------------------------------------
+    def clear(self):
+        """Zero the array (power-on / reconfiguration)."""
+        self.cells[:] = False
+
+    def utilization(self):
+        """Fraction of cells storing '1' (diagnostics only)."""
+        return float(self.cells.mean())
+
+    def __repr__(self):
+        return "SramSubarray(%dx%d)" % (self.rows, self.cols)

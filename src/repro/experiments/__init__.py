@@ -1,0 +1,27 @@
+"""Per-table/figure experiment harnesses (see DESIGN.md's index)."""
+
+from . import (
+    figure8,
+    figure9,
+    figure10,
+    scorecard,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+
+ALL_EXPERIMENTS = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "scorecard": scorecard,
+}
+
+__all__ = ["ALL_EXPERIMENTS"] + sorted(ALL_EXPERIMENTS)

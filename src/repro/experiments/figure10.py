@@ -1,0 +1,56 @@
+"""Experiment F10 — Figure 10 (input-stream sensitivity analysis).
+
+Sweeps the fraction of reporting cycles from 1% to 100% for a single
+subarray with 12 reporting states and evaluates the closed-form slowdown
+with and without report summarization (Section 5.1.2).
+
+The paper's anchors: negligible below 5% reporting, 7x worst case
+without summarization, 1.4x with 16-row-batch summarization.
+"""
+
+from ..core.config import SunderConfig
+from ..core.perfmodel import sensitivity_slowdown
+from .formatting import format_table
+
+#: The sweep points shown in the paper's figure.
+SWEEP_PCTS = (1, 2, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+COLUMNS = [
+    ("report_cycle_pct", "Report cycles (%)"),
+    ("slowdown", "Slowdown"),
+    ("slowdown_summarized", "Slowdown (summarized)"),
+]
+
+
+def run(sweep=SWEEP_PCTS, config=None):
+    """Evaluate the sweep; returns result rows."""
+    if config is None:
+        config = SunderConfig(report_bits=12)
+    rows = []
+    for pct in sweep:
+        fraction = pct / 100.0
+        rows.append({
+            "report_cycle_pct": pct,
+            "slowdown": sensitivity_slowdown(fraction, summarize=False,
+                                             config=config),
+            "slowdown_summarized": sensitivity_slowdown(
+                fraction, summarize=True, config=config
+            ),
+        })
+    return rows
+
+
+def render(rows):
+    """Format as the Figure 10 text table."""
+    return format_table(
+        rows, COLUMNS,
+        title="Figure 10: slowdown vs reporting rate "
+              "(paper anchors: 7x at 100%, 1.4x summarized)",
+    )
+
+
+def main():
+    """Run and print."""
+    rows = run()
+    print(render(rows))
+    return rows

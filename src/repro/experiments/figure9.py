@@ -1,0 +1,59 @@
+"""Experiment F9 — Figure 9 (area for 32K STEs, per component).
+
+Also derives the conclusion's throughput-density headline ("three orders
+of magnitude higher throughput per unit area than the AP").
+"""
+
+from ..hwmodel.area import figure9_breakdown, throughput_per_area
+from .formatting import format_table
+
+COLUMNS = [
+    ("architecture", "Architecture"),
+    ("matching_mm2", "Matching (mm2)"),
+    ("interconnect_mm2", "Interconnect (mm2)"),
+    ("reporting_mm2", "Reporting (mm2)"),
+    ("total_mm2", "Total (mm2)"),
+    ("ratio_to_sunder", "Ratio to Sunder"),
+]
+
+#: The paper's published total-area ratios relative to Sunder.
+PAPER_RATIOS = {"Sunder": 1.0, "CA": 1.5, "Impala": 1.6, "AP": 2.1}
+
+
+def run(num_states=32768):
+    """Compute the per-architecture area breakdown."""
+    rows = figure9_breakdown(num_states)
+    for row in rows:
+        row["paper_ratio"] = PAPER_RATIOS.get(row["architecture"])
+    return rows
+
+
+DENSITY_COLUMNS = [
+    ("architecture", "Architecture"),
+    ("gbps", "Gbps"),
+    ("area_mm2", "Area (mm2)"),
+    ("gbps_per_mm2", "Gbps/mm2"),
+    ("sunder_density_ratio", "Sunder density advantage"),
+]
+
+
+def render(rows):
+    """Format as the Figure 9 text table plus the density headline."""
+    columns = COLUMNS + [("paper_ratio", "Paper ratio")]
+    text = format_table(
+        rows, columns, title="Figure 9: area overhead for 32K STEs (14nm)",
+        float_format="%.3f",
+    )
+    text += "\n\n" + format_table(
+        throughput_per_area(), DENSITY_COLUMNS,
+        title="Throughput density (paper: ~1000x vs the 50nm AP)",
+        float_format="%.3f",
+    )
+    return text
+
+
+def main(num_states=32768):
+    """Run and print."""
+    rows = run(num_states)
+    print(render(rows))
+    return rows

@@ -1,0 +1,38 @@
+"""Plain-text table rendering for experiment output."""
+
+
+def format_table(rows, columns, title=None, float_format="%.2f"):
+    """Render dict rows as an aligned text table.
+
+    ``columns`` is a list of ``(key, heading)`` pairs; missing values
+    render as ``-``.
+    """
+    def render(value):
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            return float_format % value
+        return str(value)
+
+    headings = [heading for _, heading in columns]
+    body = [[render(row.get(key)) for key, _ in columns] for row in rows]
+    widths = [
+        max(len(headings[i]), *(len(line[i]) for line in body)) if body
+        else len(headings[i])
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headings, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def ratio_string(measured, paper):
+    """Render 'measured (paper X)' comparison cells."""
+    if paper is None:
+        return "%.2f" % measured
+    return "%.2f (paper %.2f)" % (measured, paper)

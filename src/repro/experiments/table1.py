@@ -1,0 +1,53 @@
+"""Experiment T1 — reproduce Table 1 (reporting behaviour summary).
+
+Simulates every synthetic benchmark on its generated input and reports
+the static and dynamic columns next to the paper's published values.
+The dynamic percentages should track the paper closely (they are the
+generators' calibration targets); absolute counts scale with the input.
+"""
+
+from ..workloads.registry import BENCHMARK_NAMES, generate
+from .formatting import format_table
+
+COLUMNS = [
+    ("benchmark", "Benchmark"),
+    ("family", "Family"),
+    ("states", "#States"),
+    ("report_states", "#RepStates"),
+    ("report_state_pct", "Rep%"),
+    ("paper_report_state_pct", "Rep%(paper)"),
+    ("reports", "#Reports"),
+    ("report_cycles", "#RepCycles"),
+    ("reports_per_report_cycle", "R/RC"),
+    ("paper_reports_per_report_cycle", "R/RC(paper)"),
+    ("report_cycle_pct", "RC%"),
+    ("paper_report_cycle_pct", "RC%(paper)"),
+]
+
+
+def run(scale=0.02, seed=0, names=None):
+    """Simulate the suite; returns the list of result rows."""
+    rows = []
+    for name in (names if names is not None else BENCHMARK_NAMES):
+        instance = generate(name, scale=scale, seed=seed)
+        row = instance.measured_behavior()
+        row.pop("recorder", None)
+        row["paper_report_state_pct"] = instance.paper_row.get("report_state_pct")
+        row["paper_report_cycle_pct"] = instance.paper_row.get("report_cycle_pct")
+        row["paper_reports_per_report_cycle"] = instance.paper_row.get(
+            "reports_per_report_cycle"
+        )
+        rows.append(row)
+    return rows
+
+
+def render(rows):
+    """Format result rows as the Table 1 text table."""
+    return format_table(rows, COLUMNS, title="Table 1: reporting behaviour")
+
+
+def main(scale=0.02, seed=0):
+    """Run and print (entry point used by the benchmark harness)."""
+    rows = run(scale=scale, seed=seed)
+    print(render(rows))
+    return rows

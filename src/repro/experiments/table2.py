@@ -1,0 +1,45 @@
+"""Experiment T2 — Table 2 (subarray parameters).
+
+These are model *inputs* (published outputs of the authors' NDA memory
+compiler), so the experiment simply materializes and checks them; the
+derived quantities (area/bit, 8T:6T ratio) are what downstream models
+consume.
+"""
+
+from ..hwmodel.subarray_params import CA_MATCHING, SUNDER_8T, table2_rows
+from .formatting import format_table
+
+COLUMNS = [
+    ("usage", "Usage"),
+    ("cell", "Cell"),
+    ("size", "Size"),
+    ("delay_ps", "Delay (ps)"),
+    ("read_power_mw", "Read power (mW)"),
+    ("area_um2", "Area (um2)"),
+]
+
+
+def run():
+    """Return Table 2 rows plus the derived ratios the paper quotes."""
+    rows = table2_rows()
+    derived = {
+        "area_ratio_8t_over_6t": SUNDER_8T.area_um2 / CA_MATCHING.area_um2,
+        "delay_ratio_8t_over_6t": SUNDER_8T.delay_ps / CA_MATCHING.delay_ps,
+    }
+    return rows, derived
+
+
+def render(rows, derived):
+    """Format as the Table 2 text table."""
+    text = format_table(rows, COLUMNS, title="Table 2: subarray parameters (14nm)")
+    text += "\n8T/6T area ratio: %.2fx (paper: ~2.1x)" % (
+        derived["area_ratio_8t_over_6t"]
+    )
+    return text
+
+
+def main():
+    """Run and print."""
+    rows, derived = run()
+    print(render(rows, derived))
+    return rows

@@ -1,0 +1,58 @@
+"""Experiment T3 — Table 3 (state/transition overhead per processing rate).
+
+For each benchmark, transform the 8-bit automaton to 1-, 2-, and 4-nibble
+processing and report the state and transition counts normalized to the
+original — the cost side of the throughput/density trade-off.
+"""
+
+from ..transform.pipeline import transform_overhead
+from ..workloads.registry import BENCHMARK_NAMES, generate
+from .formatting import format_table
+
+COLUMNS = [
+    ("benchmark", "Benchmark"),
+    ("states_1", "States x1"),
+    ("states_2", "States x2"),
+    ("states_4", "States x4"),
+    ("transitions_1", "Trans x1"),
+    ("transitions_2", "Trans x2"),
+    ("transitions_4", "Trans x4"),
+]
+
+def run(scale=0.01, seed=0, names=None, rates=(1, 2, 4)):
+    """Measure transformation overheads; returns (rows, averages)."""
+    rows = []
+    sums = {rate: {"states": 0.0, "transitions": 0.0} for rate in rates}
+    chosen = names if names is not None else BENCHMARK_NAMES
+    for name in chosen:
+        instance = generate(name, scale=scale, seed=seed)
+        overhead = transform_overhead(instance.automaton, rates=rates)
+        row = {"benchmark": name}
+        for rate in rates:
+            row["states_%d" % rate] = overhead[rate]["state_ratio"]
+            row["transitions_%d" % rate] = overhead[rate]["transition_ratio"]
+            sums[rate]["states"] += overhead[rate]["state_ratio"]
+            sums[rate]["transitions"] += overhead[rate]["transition_ratio"]
+        rows.append(row)
+    count = len(rows)
+    averages = {"benchmark": "Average"}
+    for rate in rates:
+        averages["states_%d" % rate] = sums[rate]["states"] / count
+        averages["transitions_%d" % rate] = sums[rate]["transitions"] / count
+    return rows, averages
+
+
+def render(rows, averages):
+    """Format as the Table 3 text table."""
+    return format_table(
+        rows + [averages], COLUMNS,
+        title="Table 3: transform overhead vs 8-bit original "
+              "(paper averages: states 3.1x/1.0x/1.2x, transitions 4.5x/1.0x/1.8x)",
+    )
+
+
+def main(scale=0.01, seed=0, names=None):
+    """Run and print."""
+    rows, averages = run(scale=scale, seed=seed, names=names)
+    print(render(rows, averages))
+    return rows, averages

@@ -1,0 +1,155 @@
+"""Experiment T4 — Table 4 (reporting overhead across architectures).
+
+For every benchmark:
+
+1. The 8-bit automaton runs in the functional simulator to produce the
+   exact per-cycle report stream; the AP and AP+RAD queue models replay
+   it (the AP is an 8-bit architecture, so its cycle base is bytes).
+2. The automaton is transformed to 4-nibble (16-bit) processing, run
+   again, placed onto Sunder PUs, and the per-PU report profile drives
+   the Sunder reporting-region model twice — stop-and-flush and FIFO —
+   giving #flushes and the reporting overhead on Sunder's cycle base.
+
+Flush-count convention: we count flush *events summed over subarrays*
+(the paper's counting convention is not fully specified; see
+EXPERIMENTS.md for the comparison discussion).
+"""
+
+from ..baselines.ap import ApReportingModel
+from ..core.config import SunderConfig
+from ..core.mapping import place
+from ..core.perfmodel import ReportingPerfModel, pu_fill_cycles_from_events
+from ..sim.engine import BitsetEngine
+from ..sim.inputs import stream_for
+from ..sim.reports import ReportRecorder
+from ..transform.pipeline import to_rate
+from ..workloads.registry import BENCHMARK_NAMES, PAPER_TABLE4, generate
+from .formatting import format_table
+
+COLUMNS = [
+    ("benchmark", "Benchmark"),
+    ("sunder_flushes", "Flushes"),
+    ("sunder_overhead", "Sunder"),
+    ("paper_sunder", "(paper)"),
+    ("sunder_fifo_flushes", "Flushes/FIFO"),
+    ("sunder_fifo_overhead", "Sunder FIFO"),
+    ("paper_sunder_fifo", "(paper)"),
+    ("ap_overhead", "AP"),
+    ("paper_ap", "(paper)"),
+    ("rad_overhead", "AP+RAD"),
+    ("paper_rad", "(paper)"),
+]
+
+
+def evaluate_benchmark(instance, rate=4, config=None, scale=1.0):
+    """Full Table 4 row for one workload instance.
+
+    ``scale`` is the workload generation scale; the AP model shrinks its
+    fixed buffer geometry by the same factor (see ApReportingModel).
+    """
+    automaton = instance.automaton
+    data = instance.input_bytes
+
+    # --- AP / AP+RAD on the 8-bit machine (byte cycle base) ------------
+    engine = BitsetEngine(automaton)
+    recorder = ReportRecorder(keep_events=True)
+    engine.run(list(data), recorder)
+    byte_cycles = len(data)
+    report_ids = [state.id for state in automaton.report_states()]
+    ap = ApReportingModel(rad=False, scale=scale).evaluate(
+        recorder.events, report_ids, byte_cycles
+    )
+    rad = ApReportingModel(rad=True, scale=scale).evaluate(
+        recorder.events, report_ids, byte_cycles
+    )
+
+    # --- Sunder on the 4-nibble machine (vector cycle base) ------------
+    strided = to_rate(automaton, rate)
+    vectors, limit = stream_for(strided, data)
+    strided_recorder = ReportRecorder(keep_events=True, position_limit=limit)
+    BitsetEngine(strided).run(vectors, strided_recorder)
+    vector_cycles = len(vectors)
+
+    if config is None:
+        config = SunderConfig(rate_nibbles=rate)
+    placement = place(strided, config)
+    fills = pu_fill_cycles_from_events(strided_recorder.events, placement)
+
+    no_fifo = ReportingPerfModel(_with_fifo(config, False)).evaluate(
+        fills, vector_cycles, capacity_scale=scale
+    )
+    fifo = ReportingPerfModel(_with_fifo(config, True)).evaluate(
+        fills, vector_cycles, capacity_scale=scale
+    )
+
+    paper = instance.paper_row and PAPER_TABLE4.get(instance.name, {})
+    return {
+        "benchmark": instance.name,
+        "sunder_flushes": no_fifo.flushes,
+        "sunder_overhead": no_fifo.slowdown,
+        "sunder_fifo_flushes": fifo.flushes,
+        "sunder_fifo_overhead": fifo.slowdown,
+        "ap_overhead": ap.slowdown,
+        "rad_overhead": rad.slowdown,
+        "paper_sunder": paper.get("sunder"),
+        "paper_sunder_fifo": paper.get("sunder_fifo"),
+        "paper_ap": paper.get("ap"),
+        "paper_rad": paper.get("ap_rad"),
+        "pus": len(placement.pus_used()),
+        "byte_cycles": byte_cycles,
+        "vector_cycles": vector_cycles,
+    }
+
+
+def _with_fifo(config, fifo):
+    """Clone a config with the FIFO strategy toggled."""
+    return SunderConfig(
+        rate_nibbles=config.rate_nibbles,
+        report_bits=config.report_bits,
+        metadata_bits=config.metadata_bits,
+        fifo=fifo,
+        flush_rows_per_cycle=config.flush_rows_per_cycle,
+        fifo_drain_rows_per_cycle=config.fifo_drain_rows_per_cycle,
+        summarize_batch_rows=config.summarize_batch_rows,
+        summarize_stall_cycles=config.summarize_stall_cycles,
+    )
+
+
+def run(scale=0.01, seed=0, names=None, rate=4):
+    """Evaluate the suite; returns (rows, averages)."""
+    rows = []
+    chosen = names if names is not None else BENCHMARK_NAMES
+    for name in chosen:
+        instance = generate(name, scale=scale, seed=seed)
+        rows.append(evaluate_benchmark(instance, rate=rate, scale=scale))
+    averages = {
+        "benchmark": "Average",
+        "sunder_overhead": _mean(rows, "sunder_overhead"),
+        "sunder_fifo_overhead": _mean(rows, "sunder_fifo_overhead"),
+        "ap_overhead": _mean(rows, "ap_overhead"),
+        "rad_overhead": _mean(rows, "rad_overhead"),
+        "paper_sunder": 1.0,
+        "paper_sunder_fifo": 1.0,
+        "paper_ap": 4.69,
+        "paper_rad": 2.23,
+    }
+    return rows, averages
+
+
+def _mean(rows, key):
+    return sum(row[key] for row in rows) / len(rows)
+
+
+def render(rows, averages):
+    """Format as the Table 4 text table."""
+    return format_table(
+        rows + [averages], COLUMNS,
+        title="Table 4: reporting overhead (4-nibble processing)",
+    )
+
+
+def main(scale=0.01, seed=0, names=None):
+    """Run and print."""
+    rows, averages = run(scale=scale, seed=seed, names=names)
+    print(render(rows, averages))
+    return rows, averages

@@ -1,0 +1,43 @@
+"""Experiment T5 — Table 5 (pipeline delays and operating frequencies)."""
+
+from ..hwmodel.pipeline import table5_rows
+from .formatting import format_table
+
+COLUMNS = [
+    ("architecture", "Architecture"),
+    ("state_matching_ps", "Match (ps)"),
+    ("local_switch_ps", "Local sw (ps)"),
+    ("global_switch_ps", "Global sw (ps)"),
+    ("max_frequency_ghz", "Max freq (GHz)"),
+    ("operating_frequency_ghz", "Op freq (GHz)"),
+]
+
+#: The paper's published operating frequencies, for comparison.
+PAPER_OPERATING_GHZ = {
+    "Sunder (14nm)": 3.6,
+    "Impala (14nm)": 5.0,
+    "CA (14nm)": 3.6,
+    "AP (50nm)": 0.133,
+    "AP (14nm, projected)": 1.69,
+}
+
+
+def run():
+    """Compute Table 5 rows with paper reference values attached."""
+    rows = table5_rows()
+    for row in rows:
+        row["paper_operating_ghz"] = PAPER_OPERATING_GHZ.get(row["architecture"])
+    return rows
+
+
+def render(rows):
+    """Format as the Table 5 text table."""
+    columns = COLUMNS + [("paper_operating_ghz", "Paper (GHz)")]
+    return format_table(rows, columns, title="Table 5: pipeline frequencies")
+
+
+def main():
+    """Run and print."""
+    rows = run()
+    print(render(rows))
+    return rows

@@ -1,0 +1,11 @@
+"""Extensions beyond the paper's core artifacts.
+
+- :mod:`repro.extensions.hotcold` — Liu et al. (MICRO'18)-style hot/cold
+  state splitting, whose larger intermediate-report volume the paper
+  argues Sunder's reporting architecture absorbs (Section 1).
+- :mod:`repro.extensions.energy` usage lives in :mod:`repro.hwmodel.energy`.
+"""
+
+from .hotcold import HotColdSplit, profile_enabled_states, split_hot_cold
+
+__all__ = ["HotColdSplit", "profile_enabled_states", "split_hot_cold"]

@@ -1,0 +1,167 @@
+"""Hot/cold automaton splitting (after Liu et al., MICRO'18).
+
+Not every NFA state is ever *enabled* at runtime; Liu et al. configure
+only the frequently-enabled ("hot") states on the in-memory accelerator
+and let the CPU handle the cold remainder.  That shrinks the hardware
+footprint (fewer reconfiguration rounds) but creates **intermediate
+reports**: whenever a hot state on the boundary activates, the event must
+be shipped to the CPU so it can continue the cold part.  The Sunder paper
+argues its reporting architecture is complementary — it absorbs exactly
+this extra reporting traffic (Section 1).
+
+This module implements the split and quantifies the claim:
+
+1. :func:`profile_enabled_states` — run a sample input and count, per
+   state, the cycles in which it was *active* (a superset proxy for
+   enabled-ness that matches Liu et al.'s profiling).
+2. :func:`split_hot_cold` — keep the hottest states covering a target
+   fraction of activity, close the set so every hot state is reachable
+   from hot starts, and mark *boundary* states (hot states with a cold
+   successor) as additional reporting states.
+3. :meth:`HotColdSplit.evaluate_reporting` — feed the combined
+   (original + intermediate) report stream through both the Sunder and
+   AP reporting models.
+"""
+
+from collections import Counter
+
+from ..automata.automaton import Automaton
+from ..automata.ste import StartKind
+from ..errors import WorkloadError
+from ..sim.engine import BitsetEngine
+
+#: Report-code prefix for synthesized boundary reports.
+BOUNDARY_CODE_PREFIX = "hotcold-boundary/"
+
+
+def profile_enabled_states(automaton, sample_stream):
+    """Per-state activation counts over a sample input.
+
+    Returns a Counter mapping state id -> cycles active.  States absent
+    from the counter were never active (cold by definition).
+    """
+    engine = BitsetEngine(automaton)
+    counts = Counter()
+    engine.reset()
+    for raw in sample_stream:
+        vector = (raw,) if isinstance(raw, int) else tuple(raw)
+        engine.step(vector)
+        for state_id in engine.active_ids():
+            counts[state_id] += 1
+    return counts
+
+
+class HotColdSplit:
+    """Result of splitting an automaton into hot and cold halves."""
+
+    def __init__(self, original, hot_automaton, hot_ids, boundary_ids):
+        self.original = original
+        self.hot_automaton = hot_automaton
+        self.hot_ids = hot_ids
+        self.boundary_ids = boundary_ids
+
+    @property
+    def hardware_states(self):
+        """States that must be configured on the accelerator."""
+        return len(self.hot_ids)
+
+    @property
+    def state_savings(self):
+        """Fraction of the original automaton kept off the hardware."""
+        if len(self.original) == 0:
+            return 0.0
+        return 1.0 - len(self.hot_ids) / len(self.original)
+
+    def run(self, stream, position_limit=None):
+        """Execute the hot half; returns its recorder.
+
+        Reports include the original reporting states that stayed hot
+        plus one boundary report per activation of a boundary state —
+        the intermediate results the CPU needs.
+        """
+        return BitsetEngine(self.hot_automaton).run(
+            stream, position_limit=position_limit
+        )
+
+    def intermediate_report_fraction(self, stream):
+        """Fraction of reports that are boundary (intermediate) events."""
+        recorder = self.run(stream)
+        if recorder.total_reports == 0:
+            return 0.0
+        boundary = sum(
+            1 for event in recorder.events
+            if str(event.report_code).startswith(BOUNDARY_CODE_PREFIX)
+        )
+        return boundary / recorder.total_reports
+
+    def __repr__(self):
+        return "HotColdSplit(hot=%d/%d states, %d boundary)" % (
+            len(self.hot_ids), len(self.original), len(self.boundary_ids),
+        )
+
+
+def split_hot_cold(automaton, sample_stream, activity_coverage=0.95):
+    """Split ``automaton`` by profiled activity.
+
+    ``activity_coverage`` is the fraction of total profiled activations
+    the hot set must cover (Liu et al. keep the states responsible for
+    almost all activity).  Start states are always hot (they are enabled
+    by definition).  Returns a :class:`HotColdSplit`.
+    """
+    if not 0.0 < activity_coverage <= 1.0:
+        raise WorkloadError("activity_coverage must be in (0, 1]")
+    profile = profile_enabled_states(automaton, sample_stream)
+    total_activity = sum(profile.values())
+
+    hot_ids = {state.id for state in automaton.start_states()}
+    covered = sum(profile.get(state_id, 0) for state_id in hot_ids)
+    for state_id, count in profile.most_common():
+        if total_activity and covered / total_activity >= activity_coverage:
+            break
+        if state_id not in hot_ids:
+            hot_ids.add(state_id)
+            covered += count
+
+    # Close the hot set for reachability *from* hot starts: a hot state
+    # only matters if the hardware can actually activate it.
+    reachable = set()
+    frontier = [s.id for s in automaton.start_states()]
+    reachable.update(frontier)
+    while frontier:
+        current = frontier.pop()
+        for successor in automaton.successors(current):
+            if successor in hot_ids and successor not in reachable:
+                reachable.add(successor)
+                frontier.append(successor)
+    hot_ids = reachable
+
+    boundary_ids = {
+        state_id for state_id in hot_ids
+        if any(succ not in hot_ids for succ in automaton.successors(state_id))
+    }
+
+    hot = Automaton(
+        name=automaton.name + ".hot",
+        bits=automaton.bits,
+        arity=automaton.arity,
+        start_period=automaton.start_period,
+    )
+    for state_id in hot_ids:
+        state = automaton.state(state_id)
+        if state_id in boundary_ids and not state.report:
+            # Boundary states become reporting states: their activations
+            # are the intermediate results shipped to the CPU.
+            from ..automata.ste import Ste
+            state = Ste(
+                state.id, state.symbols, start=state.start, report=True,
+                report_code=BOUNDARY_CODE_PREFIX + str(state_id),
+            )
+        else:
+            state = state.clone()
+        hot.add_state(state)
+    for state_id in hot_ids:
+        for successor in automaton.successors(state_id):
+            if successor in hot_ids:
+                hot.add_transition(state_id, successor)
+    hot.prune_unreachable()
+    return HotColdSplit(automaton, hot, hot_ids, boundary_ids)

@@ -1,0 +1,64 @@
+"""Technology/circuit models: Table 2 parameters, Table 5 pipeline, Figure 9 area."""
+
+from .energy import ENERGY_PJ, EnergyReport, analytic_energy, device_energy
+from .area import (
+    STATES_PER_CLUSTER,
+    STATES_PER_SUBARRAY,
+    SUNDER_REPORTING_OVERHEAD,
+    ap_area_um2,
+    ca_area_um2,
+    figure9_breakdown,
+    impala_area_um2,
+    interconnect_area_um2,
+    sunder_area_um2,
+    throughput_per_area,
+)
+from .pipeline import (
+    AP_FREQUENCY_GHZ_50NM,
+    CA_PIPELINE,
+    IMPALA_PIPELINE,
+    SUNDER_PIPELINE,
+    PipelineModel,
+    ap_frequency_ghz,
+    project_frequency,
+    table5_rows,
+)
+from .subarray_params import (
+    CA_MATCHING,
+    IMPALA_MATCHING,
+    SUNDER_8T,
+    TABLE2,
+    SubarrayParams,
+    table2_rows,
+)
+
+__all__ = [
+    "AP_FREQUENCY_GHZ_50NM",
+    "ENERGY_PJ",
+    "EnergyReport",
+    "analytic_energy",
+    "device_energy",
+    "CA_MATCHING",
+    "CA_PIPELINE",
+    "IMPALA_MATCHING",
+    "IMPALA_PIPELINE",
+    "STATES_PER_CLUSTER",
+    "STATES_PER_SUBARRAY",
+    "SUNDER_8T",
+    "SUNDER_PIPELINE",
+    "SUNDER_REPORTING_OVERHEAD",
+    "SubarrayParams",
+    "PipelineModel",
+    "TABLE2",
+    "ap_area_um2",
+    "ap_frequency_ghz",
+    "ca_area_um2",
+    "figure9_breakdown",
+    "impala_area_um2",
+    "interconnect_area_um2",
+    "project_frequency",
+    "sunder_area_um2",
+    "table2_rows",
+    "throughput_per_area",
+    "table5_rows",
+]

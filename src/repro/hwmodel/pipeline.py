@@ -1,0 +1,135 @@
+"""Pipeline-stage delays and operating frequency — the paper's Table 5.
+
+Automata processing pipelines three stages per symbol: state matching,
+local switch, and global switch.  Frequency is set by the slowest stage,
+derated 10% for estimation error.  Global-switch delay is the crossbar
+read access plus SPICE-modelled wire delay to the slice-level switch.
+"""
+
+from .subarray_params import CA_MATCHING, IMPALA_MATCHING, SUNDER_8T
+
+#: SPICE-derived wire delay (paper Section 7.4).
+WIRE_DELAY_PS_PER_MM = 66.0
+#: Half the slice dimension: distance from a subarray to the global switch.
+GLOBAL_WIRE_MM = 1.5
+#: Impala's subarrays are ~5x smaller, so its wire run is much shorter.
+IMPALA_GLOBAL_WIRE_PS = 20.0
+#: Derating applied to the max frequency ("10% less than calculated").
+FREQUENCY_MARGIN = 0.10
+
+#: The Micron AP's published symbol rate (50nm DRAM process).
+AP_FREQUENCY_GHZ_50NM = 0.133
+#: Technology nodes for the AP projection.
+AP_TECHNOLOGY_NM = 50
+TARGET_TECHNOLOGY_NM = 14
+
+
+class PipelineModel:
+    """Stage delays and derived frequencies for one architecture."""
+
+    def __init__(self, name, matching_ps, local_switch_ps, global_switch_ps):
+        self.name = name
+        self.matching_ps = matching_ps
+        self.local_switch_ps = local_switch_ps
+        self.global_switch_ps = global_switch_ps
+
+    @property
+    def critical_path_ps(self):
+        """Slowest pipeline stage (stages evaluate in parallel per cycle)."""
+        return max(self.matching_ps, self.local_switch_ps, self.global_switch_ps)
+
+    @property
+    def max_frequency_ghz(self):
+        """1 / critical-path delay."""
+        return 1000.0 / self.critical_path_ps
+
+    @property
+    def operating_frequency_ghz(self):
+        """Max frequency derated by :data:`FREQUENCY_MARGIN`."""
+        return self.max_frequency_ghz * (1.0 - FREQUENCY_MARGIN)
+
+
+def _global_switch_ps(read_ps, wire_ps):
+    return read_ps + wire_ps
+
+
+#: Sunder: 8T matching (150ps), 8T local switch, 8T global switch + wire.
+SUNDER_PIPELINE = PipelineModel(
+    "Sunder",
+    matching_ps=SUNDER_8T.delay_ps,
+    local_switch_ps=SUNDER_8T.delay_ps,
+    global_switch_ps=_global_switch_ps(
+        SUNDER_8T.delay_ps, WIRE_DELAY_PS_PER_MM * GLOBAL_WIRE_MM
+    ),
+)
+
+#: Impala: 6T 16x16 matching (180ps), short global wires (20ps).
+IMPALA_PIPELINE = PipelineModel(
+    "Impala",
+    matching_ps=IMPALA_MATCHING.delay_ps,
+    local_switch_ps=SUNDER_8T.delay_ps,
+    global_switch_ps=_global_switch_ps(SUNDER_8T.delay_ps, IMPALA_GLOBAL_WIRE_PS),
+)
+
+#: Cache Automaton: 6T 256x256 matching (220ps), same interconnect as Sunder.
+CA_PIPELINE = PipelineModel(
+    "CA",
+    matching_ps=CA_MATCHING.delay_ps,
+    local_switch_ps=SUNDER_8T.delay_ps,
+    global_switch_ps=_global_switch_ps(
+        SUNDER_8T.delay_ps, WIRE_DELAY_PS_PER_MM * GLOBAL_WIRE_MM
+    ),
+)
+
+
+def project_frequency(frequency_ghz, from_nm, to_nm):
+    """Idealized linear Dennard projection across technology nodes.
+
+    The paper projects the AP's 0.133 GHz at 50nm to 14nm "as an ideal
+    assumption"; linear scaling with feature size gives 0.133 * 50/14 =
+    0.475... which is far below the paper's 1.69 GHz, so the paper uses
+    roughly quadratic (area) scaling: 0.133 * (50/14)^2 = 1.70 GHz.  We
+    follow the quadratic interpretation since it reproduces Table 5.
+    """
+    ratio = from_nm / to_nm
+    return frequency_ghz * ratio * ratio
+
+
+def ap_frequency_ghz(technology_nm=TARGET_TECHNOLOGY_NM):
+    """AP operating frequency at 50nm or projected to ``technology_nm``."""
+    if technology_nm == AP_TECHNOLOGY_NM:
+        return AP_FREQUENCY_GHZ_50NM
+    return project_frequency(
+        AP_FREQUENCY_GHZ_50NM, AP_TECHNOLOGY_NM, technology_nm
+    )
+
+
+def table5_rows():
+    """Table 5 as dict rows: stage delays plus derived frequencies."""
+    rows = []
+    for model in (SUNDER_PIPELINE, IMPALA_PIPELINE, CA_PIPELINE):
+        rows.append({
+            "architecture": "%s (14nm)" % model.name,
+            "state_matching_ps": model.matching_ps,
+            "local_switch_ps": model.local_switch_ps,
+            "global_switch_ps": model.global_switch_ps,
+            "max_frequency_ghz": model.max_frequency_ghz,
+            "operating_frequency_ghz": model.operating_frequency_ghz,
+        })
+    rows.append({
+        "architecture": "AP (50nm)",
+        "state_matching_ps": None,
+        "local_switch_ps": None,
+        "global_switch_ps": None,
+        "max_frequency_ghz": AP_FREQUENCY_GHZ_50NM,
+        "operating_frequency_ghz": AP_FREQUENCY_GHZ_50NM,
+    })
+    rows.append({
+        "architecture": "AP (14nm, projected)",
+        "state_matching_ps": None,
+        "local_switch_ps": None,
+        "global_switch_ps": None,
+        "max_frequency_ghz": ap_frequency_ghz(14),
+        "operating_frequency_ghz": ap_frequency_ghz(14),
+    })
+    return rows

@@ -1,0 +1,73 @@
+"""Subarray circuit parameters — the paper's Table 2.
+
+The paper obtained these from a 14nm memory compiler under NDA and SPICE
+wire models; the numbers below are the published outputs, used here as
+model inputs (exactly how the paper derives Tables 5 and Figures 8-9).
+"""
+
+
+class SubarrayParams:
+    """Delay/power/area of one SRAM subarray including peripherals."""
+
+    __slots__ = ("usage", "cell_type", "rows", "cols", "delay_ps",
+                 "read_power_mw", "area_um2")
+
+    def __init__(self, usage, cell_type, rows, cols, delay_ps,
+                 read_power_mw, area_um2):
+        self.usage = usage
+        self.cell_type = cell_type
+        self.rows = rows
+        self.cols = cols
+        self.delay_ps = delay_ps
+        self.read_power_mw = read_power_mw
+        self.area_um2 = area_um2
+
+    @property
+    def bits(self):
+        """Raw storage capacity in bits."""
+        return self.rows * self.cols
+
+    @property
+    def area_per_bit_um2(self):
+        """Area efficiency including peripheral overhead."""
+        return self.area_um2 / self.bits
+
+    def __repr__(self):
+        return ("SubarrayParams(%s, %s, %dx%d, %dps, %.2fmW, %dum2)" % (
+            self.usage, self.cell_type, self.rows, self.cols,
+            self.delay_ps, self.read_power_mw, self.area_um2))
+
+
+#: Technology node for every entry below.
+TECHNOLOGY_NM = 14
+#: Nominal supply voltage used by the memory compiler runs.
+NOMINAL_VDD = 0.8
+
+#: Impala's state-matching subarray: tiny 16x16 6T arrays.
+IMPALA_MATCHING = SubarrayParams("state-matching (Impala)", "6T", 16, 16,
+                                 180, 0.58, 453)
+#: Cache Automaton's state-matching subarray: 256x256 6T.
+CA_MATCHING = SubarrayParams("state-matching (CA)", "6T", 256, 256,
+                             220, 5.52, 9394)
+#: The 8T subarray used for every interconnect crossbar and for Sunder's
+#: combined state-matching + reporting array.  8T cells have wider
+#: transistors: faster reads, ~2.1x the 6T area.
+SUNDER_8T = SubarrayParams("interconnect / state-matching (Sunder)", "8T",
+                           256, 256, 150, 6.07, 20102)
+
+TABLE2 = (IMPALA_MATCHING, CA_MATCHING, SUNDER_8T)
+
+
+def table2_rows():
+    """Table 2 as a list of dict rows (for the experiment harness)."""
+    return [
+        {
+            "usage": params.usage,
+            "cell": params.cell_type,
+            "size": "%dx%d" % (params.rows, params.cols),
+            "delay_ps": params.delay_ps,
+            "read_power_mw": params.read_power_mw,
+            "area_um2": params.area_um2,
+        }
+        for params in TABLE2
+    ]

@@ -1,0 +1,238 @@
+"""Regex abstract syntax tree and Glushkov position functions.
+
+The compiler uses the Glushkov construction, which produces a homogeneous
+NFA directly: every *position* (leaf occurrence of a symbol set) becomes
+one STE, start states are ``first(R)``, reporting states are ``last(R)``,
+and edges follow ``follow(R)``.  No epsilon transitions ever exist, which
+is exactly the property the in-memory architectures need.
+"""
+
+from ..errors import RegexError
+
+
+class Node:
+    """Base class for AST nodes."""
+
+    def positions(self):
+        """Yield the :class:`Leaf` nodes in left-to-right order."""
+        raise NotImplementedError
+
+    def nullable(self):
+        """True when the node can match the empty string."""
+        raise NotImplementedError
+
+    def first(self):
+        """Set of leaves that can start a match."""
+        raise NotImplementedError
+
+    def last(self):
+        """Set of leaves that can end a match."""
+        raise NotImplementedError
+
+    def follow(self, table):
+        """Populate ``table[leaf] -> set(leaf)`` with follow relations."""
+        raise NotImplementedError
+
+
+class Leaf(Node):
+    """A single symbol-set occurrence (one Glushkov position)."""
+
+    __slots__ = ("symbol_set",)
+
+    def __init__(self, symbol_set):
+        if symbol_set.is_empty():
+            raise RegexError("a character class matched no symbols")
+        self.symbol_set = symbol_set
+
+    def positions(self):
+        yield self
+
+    def nullable(self):
+        return False
+
+    def first(self):
+        return {self}
+
+    def last(self):
+        return {self}
+
+    def follow(self, table):
+        table.setdefault(self, set())
+
+    def __repr__(self):
+        return "Leaf(%s)" % self.symbol_set.to_charclass()
+
+
+class Concat(Node):
+    """Sequence of sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+    def positions(self):
+        for part in self.parts:
+            yield from part.positions()
+
+    def nullable(self):
+        return all(part.nullable() for part in self.parts)
+
+    def first(self):
+        result = set()
+        for part in self.parts:
+            result |= part.first()
+            if not part.nullable():
+                break
+        return result
+
+    def last(self):
+        result = set()
+        for part in reversed(self.parts):
+            result |= part.last()
+            if not part.nullable():
+                break
+        return result
+
+    def follow(self, table):
+        for part in self.parts:
+            part.follow(table)
+        for index in range(len(self.parts) - 1):
+            # last(parts[index]) is followed by first of the next non-empty
+            # run of parts (crossing nullable parts).
+            suffix_first = set()
+            for later in self.parts[index + 1:]:
+                suffix_first |= later.first()
+                if not later.nullable():
+                    break
+            for leaf in self.parts[index].last():
+                table.setdefault(leaf, set()).update(suffix_first)
+
+
+class Alternation(Node):
+    """Union of sub-expressions (``a|b``)."""
+
+    __slots__ = ("options",)
+
+    def __init__(self, options):
+        if not options:
+            raise RegexError("empty alternation")
+        self.options = list(options)
+
+    def positions(self):
+        for option in self.options:
+            yield from option.positions()
+
+    def nullable(self):
+        return any(option.nullable() for option in self.options)
+
+    def first(self):
+        result = set()
+        for option in self.options:
+            result |= option.first()
+        return result
+
+    def last(self):
+        result = set()
+        for option in self.options:
+            result |= option.last()
+        return result
+
+    def follow(self, table):
+        for option in self.options:
+            option.follow(table)
+
+
+class Star(Node):
+    """Kleene closure (``a*``)."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def positions(self):
+        yield from self.inner.positions()
+
+    def nullable(self):
+        return True
+
+    def first(self):
+        return self.inner.first()
+
+    def last(self):
+        return self.inner.last()
+
+    def follow(self, table):
+        self.inner.follow(table)
+        firsts = self.inner.first()
+        for leaf in self.inner.last():
+            table.setdefault(leaf, set()).update(firsts)
+
+
+class Empty(Node):
+    """Matches the empty string (used for ``a?`` expansion)."""
+
+    def positions(self):
+        return iter(())
+
+    def nullable(self):
+        return True
+
+    def first(self):
+        return set()
+
+    def last(self):
+        return set()
+
+    def follow(self, table):
+        pass
+
+
+def optional(node):
+    """``node?`` as an alternation with :class:`Empty`."""
+    return Alternation([node, Empty()])
+
+
+def plus(node):
+    """``node+`` as ``node node*``.
+
+    The duplication doubles positions for the repeated sub-expression; the
+    post-construction minimizer collapses most of it back.
+    """
+    return Concat([node, Star(_clone(node))])
+
+
+def repeat(node, minimum, maximum):
+    """Bounded repetition ``node{m,n}`` (``n is None`` means unbounded)."""
+    if minimum < 0:
+        raise RegexError("negative repetition bound")
+    if maximum is not None and maximum < minimum:
+        raise RegexError("repetition bounds out of order: {%d,%d}" % (minimum, maximum))
+    if maximum is not None and maximum == 0:
+        return Empty()
+    parts = [_clone(node) for _ in range(minimum)]
+    if maximum is None:
+        if minimum == 0:
+            return Star(node)
+        parts[-1] = plus(parts[-1])
+    else:
+        parts.extend(optional(_clone(node)) for _ in range(maximum - minimum))
+    if not parts:
+        return Empty()
+    return Concat(parts)
+
+
+def _clone(node):
+    """Deep-copy a node so each repetition gets distinct positions."""
+    if isinstance(node, Leaf):
+        return Leaf(node.symbol_set)
+    if isinstance(node, Concat):
+        return Concat([_clone(part) for part in node.parts])
+    if isinstance(node, Alternation):
+        return Alternation([_clone(option) for option in node.options])
+    if isinstance(node, Star):
+        return Star(_clone(node.inner))
+    if isinstance(node, Empty):
+        return Empty()
+    raise RegexError("unknown AST node %r" % (node,))

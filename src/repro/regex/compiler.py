@@ -1,0 +1,94 @@
+"""Glushkov compilation of parsed regexes into homogeneous NFAs."""
+
+from ..automata.automaton import Automaton
+from ..automata.ops import minimize
+from ..automata.ste import StartKind
+from ..errors import RegexError
+from .parser import parse
+
+
+def compile_pattern(
+    pattern,
+    name=None,
+    report_code=None,
+    ignore_case=False,
+    minimized=True,
+):
+    """Compile one regex into a homogeneous NFA.
+
+    Unanchored patterns get ``ALL_INPUT`` start states so matches are found
+    at every offset (streaming semantics); a leading ``^`` produces
+    ``START_OF_DATA`` starts.  The end of each match is a reporting state
+    carrying ``report_code`` (default: the pattern text).
+
+    Raises :class:`RegexError` if the pattern accepts the empty string — an
+    empty match would report on every cycle and is meaningless for pattern
+    matching hardware.
+    """
+    root, anchored = parse(pattern, ignore_case=ignore_case)
+    if root.nullable():
+        raise RegexError("pattern accepts the empty string", pattern=pattern)
+    if report_code is None:
+        report_code = pattern
+    automaton = Automaton(name=name if name is not None else pattern, bits=8)
+
+    leaves = list(root.positions())
+    if not leaves:
+        raise RegexError("pattern has no symbols", pattern=pattern)
+    ids = {leaf: "p%d" % index for index, leaf in enumerate(leaves)}
+    firsts = root.first()
+    lasts = root.last()
+    start_kind = StartKind.START_OF_DATA if anchored else StartKind.ALL_INPUT
+
+    for leaf in leaves:
+        automaton.new_state(
+            ids[leaf],
+            leaf.symbol_set,
+            start=start_kind if leaf in firsts else StartKind.NONE,
+            report=leaf in lasts,
+            report_code=report_code if leaf in lasts else None,
+        )
+    follow = {}
+    root.follow(follow)
+    for leaf, followers in follow.items():
+        for follower in followers:
+            automaton.add_transition(ids[leaf], ids[follower])
+
+    automaton.prune_unreachable()
+    if minimized:
+        minimize(automaton)
+    return automaton.validate()
+
+
+def compile_ruleset(
+    patterns,
+    name="ruleset",
+    ignore_case=False,
+    minimized=True,
+):
+    """Compile many patterns into one machine (disjoint union).
+
+    ``patterns`` is an iterable of regex strings or ``(regex, report_code)``
+    pairs.  Each pattern keeps its own reporting states; report codes
+    default to the pattern's index, which is how rulesets such as Snort
+    identify the matched rule.
+    """
+    combined = Automaton(name=name, bits=8)
+    count = 0
+    for index, entry in enumerate(patterns):
+        if isinstance(entry, tuple):
+            pattern, report_code = entry
+        else:
+            pattern, report_code = entry, index
+        rule = compile_pattern(
+            pattern,
+            name="%s_r%d" % (name, index),
+            report_code=report_code,
+            ignore_case=ignore_case,
+            minimized=minimized,
+        )
+        combined.merge_in(rule, "r%d_" % index)
+        count += 1
+    if count == 0:
+        raise RegexError("ruleset is empty")
+    return combined.validate()

@@ -1,0 +1,287 @@
+"""Recursive-descent parser for the regex subset the benchmarks need.
+
+Supported syntax (byte alphabet, PCRE-flavoured):
+
+- literals, ``.`` (any byte), escapes ``\\xHH \\n \\r \\t \\0 \\d \\D \\w
+  \\W \\s \\S`` and backslashed metacharacters
+- character classes ``[...]`` with ranges and negation
+- grouping ``(...)`` (non-capturing; capture semantics are irrelevant for
+  acceptance), alternation ``|``
+- quantifiers ``* + ? {m} {m,} {m,n}``
+- a leading ``^`` anchors the pattern to the start of input; otherwise the
+  pattern is compiled *unanchored* (matched at every input offset), which
+  is how ANMLZoo's regex rulesets behave
+
+Unsupported (rejected with :class:`RegexError`): backreferences,
+lookaround, ``$`` anchors, and lazy quantifiers.
+"""
+
+from ..automata.symbolset import SymbolSet
+from ..errors import RegexError
+from . import ast
+
+_CLASS_ESCAPES = {
+    "d": SymbolSet.from_ranges(8, [(ord("0"), ord("9"))]),
+    "w": SymbolSet.from_ranges(
+        8,
+        [(ord("a"), ord("z")), (ord("A"), ord("Z")), (ord("0"), ord("9"))],
+    ) | SymbolSet.single(8, ord("_")),
+    "s": SymbolSet.of(8, [ord(" "), ord("\t"), ord("\n"), ord("\r"), 0x0B, 0x0C]),
+}
+_SIMPLE_ESCAPES = {
+    "n": ord("\n"),
+    "r": ord("\r"),
+    "t": ord("\t"),
+    "0": 0,
+    "a": 0x07,
+    "f": 0x0C,
+    "v": 0x0B,
+}
+_METACHARACTERS = set("\\^$.|?*+()[]{}-/")
+
+
+class _Parser:
+    def __init__(self, pattern, ignore_case=False):
+        self.pattern = pattern
+        self.index = 0
+        self.ignore_case = ignore_case
+        self.anchored = False
+
+    # -- plumbing -------------------------------------------------------
+    def error(self, message):
+        raise RegexError(message, pattern=self.pattern, position=self.index)
+
+    def peek(self):
+        if self.index < len(self.pattern):
+            return self.pattern[self.index]
+        return None
+
+    def take(self):
+        char = self.peek()
+        if char is None:
+            self.error("unexpected end of pattern")
+        self.index += 1
+        return char
+
+    def expect(self, char):
+        if self.peek() != char:
+            self.error("expected %r" % char)
+        self.index += 1
+
+    # -- grammar --------------------------------------------------------
+    def parse(self):
+        if self.peek() == "^":
+            self.anchored = True
+            self.index += 1
+        node = self.alternation()
+        if self.index != len(self.pattern):
+            self.error("unexpected %r" % self.peek())
+        return node
+
+    def alternation(self):
+        options = [self.concatenation()]
+        while self.peek() == "|":
+            self.index += 1
+            options.append(self.concatenation())
+        if len(options) == 1:
+            return options[0]
+        return ast.Alternation(options)
+
+    def concatenation(self):
+        parts = []
+        while self.peek() not in (None, "|", ")"):
+            parts.append(self.quantified())
+        if not parts:
+            return ast.Empty()
+        if len(parts) == 1:
+            return parts[0]
+        return ast.Concat(parts)
+
+    def quantified(self):
+        atom = self.atom()
+        while True:
+            char = self.peek()
+            if char == "*":
+                self.index += 1
+                atom = ast.Star(atom)
+            elif char == "+":
+                self.index += 1
+                atom = ast.plus(atom)
+            elif char == "?":
+                self.index += 1
+                atom = ast.optional(atom)
+            elif char == "{":
+                atom = self.bounded(atom)
+            else:
+                return atom
+            if self.peek() == "?":
+                self.error("lazy quantifiers are not supported")
+
+    def bounded(self, atom):
+        self.expect("{")
+        minimum = self.integer()
+        maximum = minimum
+        if self.peek() == ",":
+            self.index += 1
+            if self.peek() == "}":
+                maximum = None
+            else:
+                maximum = self.integer()
+        self.expect("}")
+        return ast.repeat(atom, minimum, maximum)
+
+    def integer(self):
+        digits = ""
+        while self.peek() is not None and self.peek().isdigit():
+            digits += self.take()
+        if not digits:
+            self.error("expected a number")
+        return int(digits)
+
+    def atom(self):
+        char = self.peek()
+        if char == "(":
+            self.index += 1
+            if self.pattern[self.index:self.index + 2] == "?:":
+                self.index += 2
+            elif self.peek() == "?":
+                self.error("only (?: ...) groups are supported")
+            inner = self.alternation()
+            self.expect(")")
+            return inner
+        if char == "[":
+            return ast.Leaf(self.char_class())
+        if char == ".":
+            self.index += 1
+            return ast.Leaf(SymbolSet.full(8))
+        if char == "\\":
+            return ast.Leaf(self.escape())
+        if char == "$":
+            self.error("$ anchors are not supported")
+        if char in ")|*+?{":
+            self.error("unexpected %r" % char)
+        self.index += 1
+        return ast.Leaf(self.literal_set(ord(char)))
+
+    def literal_set(self, value):
+        sset = SymbolSet.single(8, value)
+        if self.ignore_case:
+            if ord("a") <= value <= ord("z"):
+                sset = sset | SymbolSet.single(8, value - 32)
+            elif ord("A") <= value <= ord("Z"):
+                sset = sset | SymbolSet.single(8, value + 32)
+        return sset
+
+    def escape(self):
+        self.expect("\\")
+        char = self.take()
+        if char == "x":
+            hex_digits = self.pattern[self.index:self.index + 2]
+            if len(hex_digits) != 2:
+                self.error("bad \\x escape")
+            try:
+                value = int(hex_digits, 16)
+            except ValueError:
+                self.error("bad \\x escape")
+            self.index += 2
+            return self.literal_set(value)
+        lowered = char.lower()
+        if lowered in _CLASS_ESCAPES:
+            sset = _CLASS_ESCAPES[lowered]
+            if char.isupper():
+                sset = ~sset
+            return sset
+        if char in _SIMPLE_ESCAPES:
+            return SymbolSet.single(8, _SIMPLE_ESCAPES[char])
+        if char in _METACHARACTERS:
+            return SymbolSet.single(8, ord(char))
+        if char.isdigit():
+            self.error("backreferences are not supported")
+        self.error("unknown escape \\%s" % char)
+
+    def char_class(self):
+        self.expect("[")
+        negate = False
+        if self.peek() == "^":
+            negate = True
+            self.index += 1
+        members = SymbolSet.empty(8)
+        first = True
+        while True:
+            char = self.peek()
+            if char is None:
+                self.error("unterminated character class")
+            if char == "]" and not first:
+                self.index += 1
+                break
+            low = self.class_symbol()
+            if isinstance(low, SymbolSet):
+                members = members | low
+            elif (
+                self.peek() == "-"
+                and self.index + 1 < len(self.pattern)
+                and self.pattern[self.index + 1] != "]"
+            ):
+                self.index += 1
+                high = self.class_symbol()
+                if isinstance(high, SymbolSet):
+                    self.error("a class escape cannot end a range")
+                if low > high:
+                    self.error("character range out of order")
+                members = members | SymbolSet.from_ranges(8, [(low, high)])
+                if self.ignore_case:
+                    members = members | _case_fold_range(low, high)
+            else:
+                members = members | self.literal_set(low)
+            first = False
+        if negate:
+            members = ~members
+        if members.is_empty():
+            self.error("character class matches nothing")
+        return members
+
+    def class_symbol(self):
+        """One symbol inside a class: an int, or a SymbolSet for \\d etc."""
+        char = self.take()
+        if char != "\\":
+            return ord(char)
+        escape = self.take()
+        if escape == "x":
+            hex_digits = self.pattern[self.index:self.index + 2]
+            if len(hex_digits) != 2:
+                self.error("bad \\x escape")
+            try:
+                value = int(hex_digits, 16)
+            except ValueError:
+                self.error("bad \\x escape")
+            self.index += 2
+            return value
+        lowered = escape.lower()
+        if lowered in _CLASS_ESCAPES:
+            sset = _CLASS_ESCAPES[lowered]
+            if escape.isupper():
+                sset = ~sset
+            return sset
+        if escape in _SIMPLE_ESCAPES:
+            return _SIMPLE_ESCAPES[escape]
+        if escape in _METACHARACTERS or escape == "b":
+            return ord(escape) if escape != "b" else 0x08
+        self.error("unknown escape \\%s in class" % escape)
+
+
+def _case_fold_range(low, high):
+    """Case-folded companions for the byte range [low, high]."""
+    extra = SymbolSet.empty(8)
+    for value in range(low, high + 1):
+        if ord("a") <= value <= ord("z"):
+            extra = extra | SymbolSet.single(8, value - 32)
+        elif ord("A") <= value <= ord("Z"):
+            extra = extra | SymbolSet.single(8, value + 32)
+    return extra
+
+
+def parse(pattern, ignore_case=False):
+    """Parse ``pattern``; returns ``(ast_root, anchored)``."""
+    parser = _Parser(pattern, ignore_case=ignore_case)
+    root = parser.parse()
+    return root, parser.anchored

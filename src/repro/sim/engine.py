@@ -1,0 +1,228 @@
+"""Functional NFA execution engines.
+
+Two engines with identical semantics:
+
+- :class:`BitsetEngine` — production engine.  The active-state set is a
+  Python int used as a bitmask, per-(position, symbol) match masks are
+  precomputed, and successor masks are ORed per active state.  This mirrors
+  how the hardware computes ``active = enabled AND match`` each cycle.
+- :class:`NaiveEngine` — direct set-of-states implementation kept as a
+  differential-testing oracle.
+
+Cycle semantics (matching VASim and the paper's Figure 1):
+
+1. ``enabled(t) = successors(active(t-1)) | all-input starts (if t is a
+   start-period boundary) | start-of-data starts (if t == 0)``
+2. ``active(t) = {q in enabled(t) : input(t) matches q.symbols}``
+3. every active reporting state emits one report per report offset.
+"""
+
+from ..errors import SimulationError
+from ..automata.ste import StartKind
+from .reports import ReportRecorder
+
+
+def _normalize_stream(automaton, stream):
+    """Turn a flat or vector stream into tuples of the automaton's arity."""
+    vectors = []
+    for item in stream:
+        if isinstance(item, int):
+            item = (item,)
+        else:
+            item = tuple(item)
+        if len(item) != automaton.arity:
+            raise SimulationError(
+                "input vector %r does not match automaton arity %d"
+                % (item, automaton.arity)
+            )
+        vectors.append(item)
+    return vectors
+
+
+class BitsetEngine:
+    """Bitmask-based cycle-accurate simulator for one automaton.
+
+    The engine is reusable: call :meth:`run` for whole streams, or
+    :meth:`reset` + :meth:`step` for streaming use.
+    """
+
+    def __init__(self, automaton):
+        automaton.validate()
+        self.automaton = automaton
+        self._ids = automaton.state_ids()
+        self._index = {state_id: i for i, state_id in enumerate(self._ids)}
+        size = len(self._ids)
+        self._size = size
+
+        self._succ_mask = [0] * size
+        for src, dst in automaton.transitions():
+            self._succ_mask[self._index[src]] |= 1 << self._index[dst]
+
+        self._all_input_mask = 0
+        self._start_of_data_mask = 0
+        self._report_mask = 0
+        self._report_info = {}
+        for state in automaton:
+            bit = 1 << self._index[state.id]
+            if state.start is StartKind.ALL_INPUT:
+                self._all_input_mask |= bit
+            elif state.start is StartKind.START_OF_DATA:
+                self._start_of_data_mask |= bit
+            if state.report:
+                self._report_mask |= bit
+                self._report_info[self._index[state.id]] = (
+                    state.id, state.report_code, state.report_offsets,
+                )
+
+        alphabet = 1 << automaton.bits
+        self._match_masks = [[0] * alphabet for _ in range(automaton.arity)]
+        for state in automaton:
+            bit = 1 << self._index[state.id]
+            for position, sset in enumerate(state.symbols):
+                column = self._match_masks[position]
+                for value in sset:
+                    column[value] |= bit
+
+        self.reset()
+
+    # ------------------------------------------------------------------
+    def reset(self):
+        """Return to the pre-input state (cycle 0 next)."""
+        self._active = 0
+        self._cycle = 0
+        self.active_count_history = []
+
+    @property
+    def cycle(self):
+        """Next cycle index to be executed."""
+        return self._cycle
+
+    def active_ids(self):
+        """Ids of currently active states (after the last step)."""
+        return [self._ids[i] for i in _iter_bits(self._active)]
+
+    def _enabled_mask(self):
+        enabled = 0
+        active = self._active
+        succ = self._succ_mask
+        while active:
+            low = active & -active
+            enabled |= succ[low.bit_length() - 1]
+            active ^= low
+        if self._cycle % self.automaton.start_period == 0:
+            enabled |= self._all_input_mask
+        if self._cycle == 0:
+            enabled |= self._start_of_data_mask
+        return enabled
+
+    def match_mask(self, vector):
+        """Bitmask of states whose symbols match ``vector``."""
+        masks = self._match_masks
+        try:
+            result = masks[0][vector[0]]
+            for position in range(1, len(vector)):
+                result &= masks[position][vector[position]]
+        except IndexError:
+            raise SimulationError(
+                "input vector %r out of range for %d-bit arity-%d automaton"
+                % (vector, self.automaton.bits, self.automaton.arity)
+            ) from None
+        return result
+
+    def step(self, vector, recorder=None):
+        """Advance one cycle on ``vector``; returns the active bitmask."""
+        enabled = self._enabled_mask()
+        active = enabled & self.match_mask(vector)
+        self._active = active
+        reporting = active & self._report_mask
+        if reporting and recorder is not None:
+            arity = self.automaton.arity
+            base = self._cycle * arity
+            for index in _iter_bits(reporting):
+                state_id, code, offsets = self._report_info[index]
+                for offset in offsets:
+                    recorder.record(base + offset, self._cycle, state_id, code)
+        self.active_count_history.append(_popcount(active))
+        self._cycle += 1
+        return active
+
+    def run(self, stream, recorder=None, position_limit=None):
+        """Execute a whole stream; returns the :class:`ReportRecorder` used.
+
+        ``stream`` may be flat ints (arity 1) or vectors.  When ``recorder``
+        is None a fresh one (with ``position_limit``) is created.
+        """
+        if recorder is None:
+            recorder = ReportRecorder(position_limit=position_limit)
+        self.reset()
+        for vector in _normalize_stream(self.automaton, stream):
+            self.step(vector, recorder)
+        return recorder
+
+
+class NaiveEngine:
+    """Reference set-based simulator (slow, obviously-correct)."""
+
+    def __init__(self, automaton):
+        automaton.validate()
+        self.automaton = automaton
+        self.reset()
+
+    def reset(self):
+        """Return to the pre-input state (cycle 0 next)."""
+        self._active = set()
+        self._cycle = 0
+
+    def active_ids(self):
+        """Ids of currently active states (after the last step)."""
+        return sorted(self._active)
+
+    def step(self, vector, recorder=None):
+        """Advance one cycle on ``vector``; returns the active id set."""
+        automaton = self.automaton
+        enabled = set()
+        for state_id in self._active:
+            enabled |= automaton.successors(state_id)
+        for state in automaton:
+            if state.start is StartKind.ALL_INPUT:
+                if self._cycle % automaton.start_period == 0:
+                    enabled.add(state.id)
+            elif state.start is StartKind.START_OF_DATA and self._cycle == 0:
+                enabled.add(state.id)
+        active = {
+            state_id for state_id in enabled
+            if automaton.state(state_id).matches(vector)
+        }
+        if recorder is not None:
+            base = self._cycle * automaton.arity
+            for state_id in active:
+                state = automaton.state(state_id)
+                if state.report:
+                    for offset in state.report_offsets:
+                        recorder.record(
+                            base + offset, self._cycle, state_id, state.report_code
+                        )
+        self._active = active
+        self._cycle += 1
+        return active
+
+    def run(self, stream, recorder=None, position_limit=None):
+        """Execute a whole stream; mirrors :meth:`BitsetEngine.run`."""
+        if recorder is None:
+            recorder = ReportRecorder(position_limit=position_limit)
+        self.reset()
+        for vector in _normalize_stream(self.automaton, stream):
+            self.step(vector, recorder)
+        return recorder
+
+
+def _iter_bits(mask):
+    """Yield the indices of set bits in ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _popcount(mask):
+    return bin(mask).count("1")

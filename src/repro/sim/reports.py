@@ -1,0 +1,131 @@
+"""Report events and recorders for automata simulation.
+
+A *report* is the architectural event the whole paper is about: a reporting
+STE matched, and (position, which-state) must reach the host.  The recorder
+keeps both the raw event list and the per-cycle aggregates that drive the
+reporting-architecture models (Table 1's dynamic columns, the AP buffer
+model, and Sunder's in-subarray reporting region).
+"""
+
+from collections import Counter
+
+
+class ReportEvent:
+    """One report occurrence.
+
+    Attributes
+    ----------
+    position:
+        Index in *sub-symbol* units from the start of the stream (for a
+        nibble automaton this counts nibbles, for a byte automaton bytes).
+    cycle:
+        The vector cycle in which the event fired (``position // arity``).
+    state_id / report_code:
+        Identity of the reporting STE and its stable report code.
+    """
+
+    __slots__ = ("position", "cycle", "state_id", "report_code")
+
+    def __init__(self, position, cycle, state_id, report_code):
+        self.position = position
+        self.cycle = cycle
+        self.state_id = state_id
+        self.report_code = report_code
+
+    def key(self):
+        """(position, report_code) pair used for equivalence checking."""
+        return (self.position, self.report_code)
+
+    def __repr__(self):
+        return "ReportEvent(pos=%d, cycle=%d, state=%r, code=%r)" % (
+            self.position, self.cycle, self.state_id, self.report_code,
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ReportEvent)
+            and self.position == other.position
+            and self.state_id == other.state_id
+            and self.report_code == other.report_code
+        )
+
+    def __hash__(self):
+        return hash((self.position, self.state_id, self.report_code))
+
+
+class ReportRecorder:
+    """Accumulates report events and per-cycle statistics.
+
+    Parameters
+    ----------
+    keep_events:
+        When False, only aggregates are kept — useful for long streams where
+        the event list itself would dominate memory.
+    position_limit:
+        Events at or beyond this sub-symbol position are dropped.  The
+        striding transformation pads the final input vector; reports that
+        fire on pad positions are artifacts and must be filtered.
+    """
+
+    def __init__(self, keep_events=True, position_limit=None):
+        self.keep_events = keep_events
+        self.position_limit = position_limit
+        self.events = []
+        self.reports_per_cycle = Counter()
+        self.total_reports = 0
+
+    def record(self, position, cycle, state_id, report_code):
+        """Log one report occurrence."""
+        if self.position_limit is not None and position >= self.position_limit:
+            return
+        self.total_reports += 1
+        self.reports_per_cycle[cycle] += 1
+        if self.keep_events:
+            self.events.append(ReportEvent(position, cycle, state_id, report_code))
+
+    # ------------------------------------------------------------------
+    @property
+    def report_cycles(self):
+        """Number of cycles in which at least one report fired."""
+        return len(self.reports_per_cycle)
+
+    def max_reports_in_a_cycle(self):
+        """Burstiness: the largest per-cycle report count."""
+        return max(self.reports_per_cycle.values()) if self.reports_per_cycle else 0
+
+    def event_keys(self):
+        """Set of (position, report_code) pairs (requires keep_events)."""
+        return {event.key() for event in self.events}
+
+    def positions(self):
+        """Sorted distinct report positions (requires keep_events)."""
+        return sorted({event.position for event in self.events})
+
+    def cycle_profile(self, total_cycles):
+        """Per-cycle report counts as a list of ints of length total_cycles.
+
+        This is the exact input the reporting-architecture models consume:
+        element ``t`` is the number of reports generated in cycle ``t``.
+        """
+        profile = [0] * total_cycles
+        for cycle, count in self.reports_per_cycle.items():
+            if cycle < total_cycles:
+                profile[cycle] = count
+        return profile
+
+    def summary(self, total_cycles):
+        """Table 1's dynamic columns for this run."""
+        report_cycles = self.report_cycles
+        return {
+            "reports": self.total_reports,
+            "report_cycles": report_cycles,
+            "reports_per_cycle": (
+                self.total_reports / total_cycles if total_cycles else 0.0
+            ),
+            "reports_per_report_cycle": (
+                self.total_reports / report_cycles if report_cycles else 0.0
+            ),
+            "report_cycle_pct": (
+                100.0 * report_cycles / total_cycles if total_cycles else 0.0
+            ),
+        }

@@ -1,0 +1,67 @@
+"""End-to-end transformation pipeline: byte automaton -> Sunder rate.
+
+Sunder configures a *processing rate* of 1, 2, or 4 nibbles per cycle
+(4/8/16 bits).  :func:`to_rate` runs the whole Section 4 pipeline —
+nibble decomposition, then temporal striding to the requested rate — and
+:func:`transform_overhead` measures the state/transition blowup that the
+paper reports in Table 3.
+"""
+
+from ..errors import TransformError
+from .nibble import to_nibbles
+from .striding import stride
+
+#: Processing rates Sunder supports, in nibbles per cycle.
+SUPPORTED_RATES = (1, 2, 4)
+
+
+def to_rate(automaton, nibbles_per_cycle, minimized=True):
+    """Transform an 8-bit automaton to process ``nibbles_per_cycle`` nibbles.
+
+    Returns a 4-bit automaton of arity ``nibbles_per_cycle``.  Report
+    positions are preserved in nibble units: a byte-automaton report at
+    byte ``t`` appears at nibble position ``2t + 1`` at any rate.
+    """
+    if nibbles_per_cycle not in SUPPORTED_RATES:
+        raise TransformError(
+            "unsupported rate %r (Sunder supports %s nibbles/cycle)"
+            % (nibbles_per_cycle, list(SUPPORTED_RATES))
+        )
+    nibble_automaton = to_nibbles(automaton, minimized=minimized)
+    if nibbles_per_cycle == 1:
+        return nibble_automaton
+    strided = stride(nibble_automaton, nibbles_per_cycle, minimized=minimized)
+    strided.name = "%s.%dnibble" % (automaton.name, nibbles_per_cycle)
+    return strided
+
+
+def transform_overhead(automaton, rates=SUPPORTED_RATES, minimized=True):
+    """State/transition overhead of each rate, normalized to the 8-bit source.
+
+    Returns a dict ``rate -> {"states": ..., "transitions": ...,
+    "state_ratio": ..., "transition_ratio": ...}`` plus a ``"base"`` entry
+    with the source counts — i.e. one row of the paper's Table 3.
+    """
+    base_states = len(automaton)
+    base_transitions = automaton.num_transitions()
+    if base_states == 0:
+        raise TransformError("cannot measure overhead of an empty automaton")
+    result = {
+        "base": {"states": base_states, "transitions": base_transitions},
+    }
+    nibble_automaton = to_nibbles(automaton, minimized=minimized)
+    for rate in rates:
+        if rate == 1:
+            machine = nibble_automaton
+        else:
+            machine = stride(nibble_automaton, rate, minimized=minimized)
+        result[rate] = {
+            "states": len(machine),
+            "transitions": machine.num_transitions(),
+            "state_ratio": len(machine) / base_states,
+            "transition_ratio": (
+                machine.num_transitions() / base_transitions
+                if base_transitions else float("nan")
+            ),
+        }
+    return result

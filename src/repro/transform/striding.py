@@ -1,0 +1,174 @@
+"""Vectorized temporal striding — paper Section 4, after Impala.
+
+Striding squares an automaton: the result consumes two of the source's
+symbol vectors per cycle.  Applied once to a nibble automaton it yields
+8-bit-per-cycle processing; applied twice, 16-bit.
+
+Construction (homogeneous NFAs).  For a source automaton with arity ``a``:
+
+- **pair states** ``(q1, q2)`` for every edge ``q1 -> q2``: label is the
+  concatenation of both labels; the pair carries only ``q2``'s report
+  offsets (shifted by ``a``) — ``q1``'s reports are hoisted into remnants
+  so they cannot be suppressed by a failing second half;
+- **remnant states** ``(q1, END)`` for every reporting ``q1``: label is
+  ``q1``'s label padded with ``a`` wildcards, carrying ``q1``'s offsets,
+  with *no* successors.  They fire ``q1``'s report regardless of what the
+  second half of the vector holds, exactly as the unstrided machine would;
+- **phase states** ``(ANY, q_s)`` when the source allows ``ALL_INPUT``
+  starts every cycle (``start_period == 1``): a pattern may then begin in
+  the *second* half of a strided vector, so a wildcard-prefixed copy of
+  each start state is added.  When ``start_period == 2`` (a nibble machine
+  derived from bytes) starts only align with vector boundaries and no
+  phase states are needed.
+
+Transitions: ``(x, s) -> (f, y)`` exists iff ``f in succ(s)``.  Reports
+keep their *sub-symbol* positions: a state reporting at offset ``o`` in
+cycle ``t`` reports at stream position ``t * arity + o``, so positions are
+invariant across striding.
+
+The key structural invariant (checked by :func:`verify_offset_invariant`)
+is that every label position strictly after a report offset is a full
+wildcard — which is what makes interior-offset reports independent of
+future input, preserving the unstrided semantics.
+"""
+
+from ..automata.automaton import Automaton
+from ..automata.ops import minimize
+from ..automata.ste import StartKind
+from ..automata.symbolset import SymbolSet
+from ..errors import TransformError
+
+#: Sentinel ids for wildcard halves in generated state names.
+_END = "$end"
+_ANY = "$any"
+
+
+def square(automaton, minimized=True, name=None):
+    """Stride ``automaton`` by 2: the result consumes two vectors per cycle.
+
+    Start-period handling: an even period ``P`` means starts align with
+    every ``P``-th source cycle, which is offset 0 of every ``P/2``-th
+    strided cycle — no phase states needed.  Period 1 allows mid-vector
+    starts, handled by wildcard-prefixed phase states.
+    """
+    period = automaton.start_period
+    if period != 1 and period % 2 != 0:
+        raise TransformError(
+            "cannot square an automaton with odd start period %d" % period
+        )
+    arity = automaton.arity
+    full = SymbolSet.full(automaton.bits)
+    wildcard_half = (full,) * arity
+    result = Automaton(
+        name=name if name is not None else automaton.name + ".x2",
+        bits=automaton.bits,
+        arity=2 * arity,
+        start_period=max(1, period // 2),
+    )
+
+    # ------------------------------------------------------------------
+    # States.  Keyed by (first, second) where either may be a sentinel.
+    # ------------------------------------------------------------------
+    new_ids = {}
+    entry_points = {}  # source id f -> list of new ids whose first half is f
+
+    def add(first_state, second_state):
+        """Create one strided state; returns its id."""
+        first_id = first_state.id if first_state is not None else _ANY
+        second_id = second_state.id if second_state is not None else _END
+        key = (first_id, second_id)
+        if key in new_ids:
+            return new_ids[key]
+        new_id = "(%s|%s)" % key
+
+        if second_state is None:
+            # Remnant: first half's reports, wildcard second half.
+            label = first_state.symbols + wildcard_half
+            offsets = first_state.report_offsets
+            code = first_state.report_code
+            start = first_state.start
+        elif first_state is None:
+            # Phase state: wildcard first half, real second half.
+            label = wildcard_half + second_state.symbols
+            offsets = tuple(arity + o for o in second_state.report_offsets)
+            code = second_state.report_code
+            start = StartKind.ALL_INPUT
+        else:
+            label = first_state.symbols + second_state.symbols
+            offsets = tuple(arity + o for o in second_state.report_offsets)
+            code = second_state.report_code
+            start = first_state.start
+
+        result.new_state(
+            new_id,
+            label,
+            start=start,
+            report=bool(offsets),
+            report_code=code,
+            report_offsets=offsets if offsets else None,
+        )
+        new_ids[key] = new_id
+        if first_state is not None:
+            entry_points.setdefault(first_state.id, []).append(new_id)
+        return new_id
+
+    for state in automaton:
+        for successor_id in automaton.successors(state.id):
+            add(state, automaton.state(successor_id))
+        if state.report:
+            add(state, None)
+        # A start state with no successors and no report would be inert, but
+        # a *start* state that only reports is covered by its remnant above.
+    if period == 1:
+        for state in automaton.start_states():
+            if state.start is StartKind.ALL_INPUT:
+                add(None, state)
+
+    # ------------------------------------------------------------------
+    # Transitions: (x, s) -> every state whose first half is in succ(s).
+    # ------------------------------------------------------------------
+    for (first_id, second_id), new_src in new_ids.items():
+        if second_id == _END:
+            continue
+        for follower in automaton.successors(second_id):
+            for new_dst in entry_points.get(follower, ()):
+                result.add_transition(new_src, new_dst)
+
+    result.prune_unreachable()
+    if minimized:
+        minimize(result)
+    return result.validate()
+
+
+def stride(automaton, factor, minimized=True):
+    """Stride by ``factor`` (a power of two) via repeated squaring."""
+    if factor < 1 or factor & (factor - 1):
+        raise TransformError("stride factor must be a power of two, got %r" % factor)
+    current = automaton
+    applied = 1
+    while applied < factor:
+        current = square(current, minimized=minimized)
+        applied *= 2
+    if current is automaton:
+        current = automaton.copy()
+    current.name = automaton.name + (".x%d" % factor if factor > 1 else "")
+    return current
+
+
+def verify_offset_invariant(automaton):
+    """Check that label positions after each report offset are wildcards.
+
+    Raises :class:`TransformError` on violation.  This invariant is what
+    guarantees interior-offset reports never depend on future input.
+    """
+    for state in automaton:
+        if not state.report:
+            continue
+        for offset in state.report_offsets:
+            for position in range(offset + 1, state.arity):
+                if not state.symbols[position].is_full():
+                    raise TransformError(
+                        "state %r reports at offset %d but position %d is "
+                        "not a wildcard" % (state.id, offset, position)
+                    )
+    return True

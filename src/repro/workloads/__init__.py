@@ -1,0 +1,38 @@
+"""Synthetic stand-ins for the ANMLZoo / Regex benchmark suites."""
+
+from .base import WorkloadInstance, WorkloadRandom, build_input
+from .mesh import build_hamming, build_levenshtein, hamming_automaton, levenshtein_automaton
+from .registry import (
+    BENCHMARK_NAMES,
+    PAPER_TABLE1,
+    PAPER_TABLE3_AVERAGES,
+    PAPER_TABLE4,
+    generate,
+    generate_all,
+)
+from .snort_rules import compile_rules as compile_snort_rules
+from .snort_rules import parse_rules as parse_snort_rules
+from .synthetic import synthetic_workload
+from .widgets import build_spm, chain_automaton, spm_automaton
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "PAPER_TABLE1",
+    "PAPER_TABLE3_AVERAGES",
+    "PAPER_TABLE4",
+    "WorkloadInstance",
+    "WorkloadRandom",
+    "build_hamming",
+    "build_input",
+    "build_levenshtein",
+    "build_spm",
+    "chain_automaton",
+    "compile_snort_rules",
+    "parse_snort_rules",
+    "synthetic_workload",
+    "generate",
+    "generate_all",
+    "hamming_automaton",
+    "levenshtein_automaton",
+    "spm_automaton",
+]

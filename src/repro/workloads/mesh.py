@@ -1,0 +1,211 @@
+"""Mesh-family workloads: Hamming and Levenshtein distance automata.
+
+ANMLZoo's "Mesh" benchmarks are hand-built approximate string-matching
+automata.  We construct them directly (not via regex): a pattern of
+length ``L`` at distance ``d`` unrolls into a mesh of (position, errors)
+states.  Inputs are random, so — as the paper observes — only a handful
+of strings land within the scoring metric and reports are rare.
+"""
+
+from ..automata.automaton import Automaton
+from ..automata.ste import StartKind
+from ..automata.symbolset import SymbolSet
+from ..errors import WorkloadError
+from .base import (
+    WorkloadInstance,
+    WorkloadRandom,
+    build_input,
+    infer_noise_budget,
+    poisson_positions,
+    scaled,
+)
+
+#: DNA-ish alphabet used by the approximate-matching benchmarks.
+MESH_ALPHABET = b"ACGT"
+
+
+def hamming_automaton(pattern, distance, name, report_code):
+    """Hamming-distance mesh for one pattern.
+
+    States ``M(i, e)`` / ``X(i, e)`` mean "consumed ``i+1`` characters
+    with ``e`` mismatches, the last character matched / mismatched".
+    """
+    length = len(pattern)
+    if length < 2:
+        raise WorkloadError("mesh pattern must have length >= 2")
+    if distance < 0 or distance >= length:
+        raise WorkloadError("distance %d out of range" % distance)
+    automaton = Automaton(name=name, bits=8)
+
+    def add(kind, i, e):
+        state_id = "%s%d_%d" % (kind, i, e)
+        if state_id in automaton:
+            return state_id
+        char_set = SymbolSet.single(8, pattern[i])
+        symbols = char_set if kind == "M" else ~char_set
+        automaton.new_state(
+            state_id,
+            symbols,
+            start=StartKind.START_OF_DATA if i == 0 else StartKind.NONE,
+            report=i == length - 1,
+            report_code=report_code if i == length - 1 else None,
+        )
+        return state_id
+
+    # Breadth-first over reachable (kind, i, e) configurations.
+    frontier = [("M", 0, 0)]
+    if distance >= 1:
+        frontier.append(("X", 0, 1))
+    for kind, i, e in frontier:
+        add(kind, i, e)
+    seen = set(frontier)
+    while frontier:
+        kind, i, e = frontier.pop()
+        if i + 1 >= length:
+            continue
+        source = "%s%d_%d" % (kind, i, e)
+        successors = [("M", i + 1, e)]
+        if e + 1 <= distance:
+            successors.append(("X", i + 1, e + 1))
+        for succ in successors:
+            target = add(*succ)
+            automaton.add_transition(source, target)
+            if succ not in seen:
+                seen.add(succ)
+                frontier.append(succ)
+    return automaton.validate()
+
+
+def levenshtein_automaton(pattern, distance, name, report_code):
+    """Levenshtein (edit-distance) mesh for one pattern.
+
+    Homogeneous construction with three state kinds per (position,
+    errors) configuration — match ``M``, substitution ``S``, insertion
+    ``I`` — and deletions folded in as epsilon closure over
+    configurations (a deletion advances the position and spends an error
+    without consuming input).
+    """
+    length = len(pattern)
+    if length < 2:
+        raise WorkloadError("mesh pattern must have length >= 2")
+    if distance < 0:
+        raise WorkloadError("distance must be non-negative")
+    automaton = Automaton(name=name, bits=8)
+
+    def closure(position, errors):
+        """Configurations reachable via deletions from (position, errors)."""
+        configs = []
+        k = 0
+        while position + k <= length and errors + k <= distance:
+            configs.append((position + k, errors + k))
+            k += 1
+        return configs
+
+    def reports_from(position, errors):
+        """True when (position, errors) can reach the end via deletions."""
+        return (length - position) + errors <= distance
+
+    def add(kind, i, e):
+        """State for 'consumed a char of `kind` at position i, e errors'."""
+        state_id = "%s%d_%d" % (kind, i, e)
+        if state_id in automaton:
+            return state_id
+        if kind == "M":
+            symbols, after = SymbolSet.single(8, pattern[i]), (i + 1, e)
+        elif kind == "S":
+            symbols, after = ~SymbolSet.single(8, pattern[i]), (i + 1, e)
+        else:  # insertion: any character, position unchanged (i may == L)
+            symbols, after = SymbolSet.full(8), (i, e)
+        report = reports_from(*after)
+        automaton.new_state(
+            state_id,
+            symbols,
+            report=report,
+            report_code=report_code if report else None,
+        )
+        return state_id
+
+    def consume_targets(position, errors):
+        """Homogeneous states reachable by consuming one character."""
+        targets = []
+        for p, e in closure(position, errors):
+            if p < length:
+                targets.append(("M", p, e))
+                if e + 1 <= distance:
+                    targets.append(("S", p, e + 1))
+            if e + 1 <= distance:
+                targets.append(("I", p, e + 1))
+        return targets
+
+    frontier = list(dict.fromkeys(consume_targets(0, 0)))
+    for kind, i, e in frontier:
+        state_id = add(kind, i, e)
+        automaton.state(state_id).start = StartKind.START_OF_DATA
+    seen = set(frontier)
+    queue = list(frontier)
+    while queue:
+        kind, i, e = queue.pop()
+        source = "%s%d_%d" % (kind, i, e)
+        after = (i, e) if kind == "I" else (i + 1, e)
+        for succ in consume_targets(*after):
+            target = add(*succ)
+            automaton.add_transition(source, target)
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return automaton.validate()
+
+
+def _mesh_workload(name, builder, distance, paper_states, paper_reports,
+                   scale, seed, paper_row):
+    """Shared skeleton for the two mesh benchmarks."""
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(paper_states, scale, minimum=48)
+
+    machines = []
+    witnesses = []
+    total = 0
+    index = 0
+    # Long patterns keep the report-state fraction low (reports only live
+    # on the final mesh level), matching the paper's ~1.6-3.4%.
+    while total < states_target:
+        pattern = rng.literal(rng.randint(32, 48), MESH_ALPHABET)
+        machine = builder(
+            pattern, distance, "%s_%d" % (name, index), "%s/%d" % (name, index)
+        )
+        machines.append(machine)
+        witnesses.append(pattern)
+        total += len(machine)
+        index += 1
+
+    from .base import assemble
+    automaton = assemble(name, machines)
+
+    # Meshes are start-of-data anchored: a report needs a near-match at
+    # the very beginning of the stream.  Plant one witness (possibly
+    # mutated within the distance budget) at position zero.
+    plant_count = scaled(paper_reports, scale)
+    witness = bytearray(witnesses[0])
+    for _ in range(min(distance, 1)):
+        position = rng.randrange(len(witness))
+        witness[position] = rng.choice(MESH_ALPHABET)
+    plants = [(0, bytes(witness))] if plant_count else []
+    data = build_input(
+        rng, input_length, plants, noise_alphabet=MESH_ALPHABET
+    )
+    return WorkloadInstance(name, "Mesh", automaton, data, paper_row)
+
+
+def build_hamming(scale=0.02, seed=0, paper_row=None):
+    """ANMLZoo Hamming stand-in (paper: 11346 states, 2 reports)."""
+    return _mesh_workload(
+        "Hamming", hamming_automaton, 2, 11346, 2, scale, seed, paper_row
+    )
+
+
+def build_levenshtein(scale=0.02, seed=0, paper_row=None):
+    """ANMLZoo Levenshtein stand-in (paper: 2784 states, 4 reports)."""
+    return _mesh_workload(
+        "Levenshtein", levenshtein_automaton, 1, 2784, 4, scale, seed, paper_row
+    )

@@ -1,0 +1,330 @@
+"""Regex-family workloads (ANMLZoo + Becchi Regex suite stand-ins).
+
+Each builder synthesizes a ruleset whose *static* shape follows Table 1
+(state count, report-state fraction via rule length, symbol-density
+flavour) and whose *dynamic* behaviour is reproduced by planting hot-rule
+witnesses at the published rates.  Cold rules live on a disjoint byte
+range and never fire — exactly the behaviour of real signature sets,
+where almost all rules stay idle on benign traffic.
+"""
+
+from ..regex.compiler import compile_pattern
+from .base import (
+    WorkloadInstance,
+    WorkloadRandom,
+    assemble,
+    build_input,
+    burst_group_patterns,
+    escape_literal,
+    grow_cold_rules,
+    infer_noise_budget,
+    plant_schedule,
+    poisson_positions,
+    scaled,
+)
+
+# ----------------------------------------------------------------------
+# Cold-rule pattern factories (all over the 0x80-0xBF cold range).
+# ----------------------------------------------------------------------
+
+def _cold_literal_factory(mean_length):
+    """Plain literal signatures (ExactMatch / ClamAV flavour)."""
+    def factory(rng):
+        length = max(2, int(rng.gauss(mean_length, mean_length * 0.2)))
+        return escape_literal(rng.cold_literal(length))
+    return factory
+
+
+def _cold_dotstar_factory(mean_length, dotstar_count):
+    """``prefix .* infix .* suffix`` signatures (Dotstar flavour)."""
+    def factory(rng):
+        segments = dotstar_count + 1
+        per = max(2, mean_length // segments)
+        parts = [escape_literal(rng.cold_literal(per)) for _ in range(segments)]
+        return ".*".join(parts)
+    return factory
+
+
+def _cold_ranges_factory(mean_length, range_density):
+    """Literals with interspersed ranges (Ranges05 / Ranges1 flavour)."""
+    def factory(rng):
+        length = max(3, int(rng.gauss(mean_length, 2)))
+        parts = []
+        for _ in range(length):
+            if rng.random() < range_density:
+                low = rng.randint(0x80, 0xB0)
+                high = rng.randint(low, min(0xBF, low + 12))
+                parts.append("[\\x%02x-\\x%02x]" % (low, high))
+            else:
+                parts.append(escape_literal(rng.cold_literal(1)))
+        return "".join(parts)
+    return factory
+
+
+def _cold_complex_factory(mean_length):
+    """PowerEN-style rules: classes, bounded repeats, alternation."""
+    def factory(rng):
+        pieces = []
+        budget = max(4, int(rng.gauss(mean_length, 3)))
+        while budget > 0:
+            roll = rng.random()
+            if roll < 0.55:
+                run = min(budget, rng.randint(1, 4))
+                pieces.append(escape_literal(rng.cold_literal(run)))
+                budget -= run
+            elif roll < 0.75:
+                low = rng.randint(0x80, 0xB0)
+                high = min(0xBF, low + rng.randint(2, 10))
+                reps = min(budget, rng.randint(1, 3))
+                pieces.append("[\\x%02x-\\x%02x]{%d}" % (low, high, reps))
+                budget -= reps
+            elif roll < 0.9:
+                a = escape_literal(rng.cold_literal(2))
+                b = escape_literal(rng.cold_literal(2))
+                pieces.append("(%s|%s)" % (a, b))
+                budget -= 2
+            else:
+                pieces.append(escape_literal(rng.cold_literal(1)) + "+")
+                budget -= 1
+        return "".join(pieces)
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Generic single-witness benchmark skeleton.
+# ----------------------------------------------------------------------
+
+def _single_witness_workload(
+    name, rng, scale, paper_states, report_cycle_pct, witness,
+    cold_factory, paper_row, absolute_reports=None, family="Regex",
+):
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(paper_states, scale, minimum=40)
+    hot = compile_pattern(
+        escape_literal(witness), name="%s_hot" % name,
+        report_code="%s/hot" % name,
+    )
+    cold = grow_cold_rules(
+        rng, cold_factory, max(0, states_target - len(hot)), name
+    )
+    automaton = assemble(name, [hot] + cold)
+    if report_cycle_pct > 0.0 or absolute_reports:
+        plants = plant_schedule(
+            rng, input_length, report_cycle_pct, witness, scale,
+            absolute_reports=absolute_reports,
+        )
+    else:
+        plants = []
+    data = build_input(rng, input_length, plants)
+    return WorkloadInstance(name, family, automaton, data, paper_row)
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+def build_brill(scale=0.02, seed=0, paper_row=None):
+    """Brill tagging rules: frequent reports in ~9-wide bursts."""
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(42_658, scale, minimum=200)
+
+    # Short word-like witnesses: Brill reports on 11% of cycles, so the
+    # planted triggers must pack densely into the stream.
+    witness = b"jumped"
+    group = burst_group_patterns(witness, 10, rng)
+    hot_rules = [
+        compile_pattern(body, name="brill_hot%d" % index,
+                        report_code="Brill/h%d" % index)
+        for index, body in enumerate(group)
+    ]
+    single_witness = b"tagged"
+    hot_rules.append(compile_pattern(
+        escape_literal(single_witness), name="brill_single",
+        report_code="Brill/single",
+    ))
+    cold = grow_cold_rules(
+        rng, _cold_literal_factory(22),
+        max(0, states_target - sum(len(r) for r in hot_rules)), "brill",
+    )
+    automaton = assemble("Brill", hot_rules + cold)
+
+    # 11.33% report cycles; 91% of them are 10-wide bursts.
+    total_plants = int(round(input_length * 11.33 / 100.0))
+    burst_plants = int(total_plants * 0.91)
+    single_plants = max(1, total_plants - burst_plants)
+    positions = poisson_positions(
+        rng, input_length, burst_plants + single_plants, len(witness)
+    )
+    plants = [(p, witness) for p in positions[:burst_plants]]
+    plants += [(p, single_witness) for p in positions[burst_plants:]]
+    data = build_input(rng, input_length, plants)
+    return WorkloadInstance("Brill", "Regex", automaton, data, paper_row)
+
+
+def build_bro217(scale=0.02, seed=0, paper_row=None):
+    """Bro IDS rules: sparse single reports at ~1.6% of cycles."""
+    return _single_witness_workload(
+        "Bro217", WorkloadRandom(seed), scale, 2312, 1.64,
+        b"get /cgi-bin/phf?", _cold_literal_factory(11), paper_row,
+    )
+
+
+def _build_dotstar(name, paper_states, reports, seed, scale, paper_row,
+                   dotstar_count):
+    rng = WorkloadRandom(seed)
+    return _single_witness_workload(
+        name, rng, scale, paper_states, 0.0,
+        b"evil payload marker", _cold_dotstar_factory(38, dotstar_count),
+        paper_row, absolute_reports=reports,
+    )
+
+
+def build_dotstar03(scale=0.02, seed=0, paper_row=None):
+    """Dotstar03: nearly silent (1 report over the whole stream)."""
+    return _build_dotstar("Dotstar03", 12_144, 1, seed, scale, paper_row, 1)
+
+
+def build_dotstar06(scale=0.02, seed=1, paper_row=None):
+    """Dotstar06: nearly silent (2 reports)."""
+    return _build_dotstar("Dotstar06", 12_640, 2, seed, scale, paper_row, 2)
+
+
+def build_dotstar09(scale=0.02, seed=2, paper_row=None):
+    """Dotstar09: nearly silent (2 reports)."""
+    return _build_dotstar("Dotstar09", 12_431, 2, seed, scale, paper_row, 3)
+
+
+def build_exactmatch(scale=0.02, seed=0, paper_row=None):
+    """ExactMatch: literal signatures, 35 reports per MB."""
+    return _single_witness_workload(
+        "ExactMatch", WorkloadRandom(seed), scale, 12_439, 0.0,
+        b"exact needle", _cold_literal_factory(40), paper_row,
+        absolute_reports=35,
+    )
+
+
+def build_poweren(scale=0.02, seed=0, paper_row=None):
+    """PowerEN: complex rules, 0.41% report cycles."""
+    return _single_witness_workload(
+        "PowerEN", WorkloadRandom(seed), scale, 40_513, 0.41,
+        b"xml <event/>", _cold_complex_factory(11), paper_row,
+    )
+
+
+def build_protomata(scale=0.02, seed=0, paper_row=None):
+    """Protomata: protein motifs, 10.08% report cycles, 1.21 reports each."""
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(42_009, scale, minimum=200)
+    protein = b"ACDEFGHIKLMNPQRSTVWY"
+
+    witness_single = rng.literal(6, protein)
+    witness_pair = rng.literal(6, protein)
+    pair_patterns = burst_group_patterns(witness_pair, 2, rng)
+    hot_rules = [compile_pattern(
+        escape_literal(witness_single), name="proto_hot",
+        report_code="Protomata/h0",
+    )]
+    hot_rules += [
+        compile_pattern(body, name="proto_pair%d" % index,
+                        report_code="Protomata/p%d" % index)
+        for index, body in enumerate(pair_patterns)
+    ]
+    # Protein motifs are symbol-dense: classes over many amino acids.
+    def motif_factory(inner_rng):
+        length = max(4, int(inner_rng.gauss(17, 3)))
+        parts = []
+        for _ in range(length):
+            if inner_rng.random() < 0.5:
+                width = inner_rng.randint(4, 14)
+                members = {0x80 + inner_rng.randrange(0x20) for _ in range(width)}
+                parts.append(
+                    "[%s]" % "".join("\\x%02x" % m for m in sorted(members))
+                )
+            else:
+                parts.append(escape_literal(inner_rng.cold_literal(1)))
+        return "".join(parts)
+
+    cold = grow_cold_rules(
+        rng, motif_factory,
+        max(0, states_target - sum(len(r) for r in hot_rules)), "protomata",
+    )
+    automaton = assemble("Protomata", hot_rules + cold)
+
+    total_plants = int(round(input_length * 10.08 / 100.0))
+    pair_plants = int(total_plants * 0.21)
+    single_plants = max(1, total_plants - pair_plants)
+    positions = poisson_positions(
+        rng, input_length, pair_plants + single_plants, len(witness_single)
+    )
+    plants = [(p, witness_pair) for p in positions[:pair_plants]]
+    plants += [(p, witness_single) for p in positions[pair_plants:]]
+    data = build_input(rng, input_length, plants, noise_alphabet=protein)
+    return WorkloadInstance("Protomata", "Regex", automaton, data, paper_row)
+
+
+def build_ranges05(scale=0.02, seed=0, paper_row=None):
+    """Ranges05 (range density 0.5): nearly silent (39 reports)."""
+    return _single_witness_workload(
+        "Ranges05", WorkloadRandom(seed), scale, 12_621, 0.0,
+        b"range needle!", _cold_ranges_factory(40, 0.5), paper_row,
+        absolute_reports=39,
+    )
+
+
+def build_ranges1(scale=0.02, seed=0, paper_row=None):
+    """Ranges1 (every symbol a range): nearly silent (26 reports)."""
+    return _single_witness_workload(
+        "Ranges1", WorkloadRandom(seed), scale, 12_464, 0.0,
+        b"range needle?", _cold_ranges_factory(40, 1.0), paper_row,
+        absolute_reports=26,
+    )
+
+
+def build_snort(scale=0.02, seed=0, paper_row=None):
+    """Snort: reports on ~95% of cycles, 1.72 reports per report cycle.
+
+    Two always-hot rules dominate (single-symbol classes that match most
+    traffic bytes), exactly the behaviour that makes Snort the worst case
+    for AP-style reporting; thousands of cold signatures provide the
+    static bulk.
+    """
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(66_466, scale, minimum=260)
+
+    hot_wide = compile_pattern("[a-z0-9]", name="snort_hot_wide",
+                               report_code="Snort/wide")
+    hot_narrow = compile_pattern("[a-z]", name="snort_hot_narrow",
+                                 report_code="Snort/narrow")
+    cold = grow_cold_rules(
+        rng, _cold_literal_factory(14),
+        max(0, states_target - 2), "snort",
+    )
+    automaton = assemble("Snort", [hot_wide, hot_narrow] + cold)
+
+    # Noise: 94.89% of bytes are [a-z0-9] (uniform), the rest spaces.
+    alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789 "
+    weights = [0.9489 / 36.0] * 36 + [0.0511]
+    data = build_input(
+        rng, input_length, [], noise_alphabet=alphabet, noise_weights=weights
+    )
+    return WorkloadInstance("Snort", "Regex", automaton, data, paper_row)
+
+
+def build_tcp(scale=0.02, seed=0, paper_row=None):
+    """TCP stream rules: 9.84% report cycles, one report each."""
+    return _single_witness_workload(
+        "TCP", WorkloadRandom(seed), scale, 19_704, 9.84,
+        b"syn ack", _cold_literal_factory(19), paper_row,
+    )
+
+
+def build_clamav(scale=0.02, seed=0, paper_row=None):
+    """ClamAV virus signatures: long literals, zero reports on clean input."""
+    return _single_witness_workload(
+        "ClamAV", WorkloadRandom(seed), scale, 49_538, 0.0,
+        b"never planted", _cold_literal_factory(95), paper_row,
+        absolute_reports=0,
+    )

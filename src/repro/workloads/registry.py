@@ -1,0 +1,212 @@
+"""Benchmark registry: all 19 workloads plus the paper's Table 1 values."""
+
+from ..errors import WorkloadError
+from . import mesh, regex_families, widgets
+
+#: The paper's Table 1, verbatim.  Dynamic columns are for a 1MB stream.
+PAPER_TABLE1 = {
+    "Brill": {
+        "family": "Regex", "states": 42658, "report_states": 1962,
+        "report_state_pct": 4.6, "reports": 1092388, "report_cycles": 118814,
+        "reports_per_cycle": 1.067, "reports_per_report_cycle": 9.19,
+        "report_cycle_pct": 11.33,
+    },
+    "Bro217": {
+        "family": "Regex", "states": 2312, "report_states": 187,
+        "report_state_pct": 8.1, "reports": 17219, "report_cycles": 17210,
+        "reports_per_cycle": 0.017, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 1.64,
+    },
+    "Dotstar03": {
+        "family": "Regex", "states": 12144, "report_states": 300,
+        "report_state_pct": 2.5, "reports": 1, "report_cycles": 1,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "Dotstar06": {
+        "family": "Regex", "states": 12640, "report_states": 300,
+        "report_state_pct": 2.4, "reports": 2, "report_cycles": 2,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "Dotstar09": {
+        "family": "Regex", "states": 12431, "report_states": 300,
+        "report_state_pct": 2.4, "reports": 2, "report_cycles": 2,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "ExactMatch": {
+        "family": "Regex", "states": 12439, "report_states": 297,
+        "report_state_pct": 2.4, "reports": 35, "report_cycles": 35,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "PowerEN": {
+        "family": "Regex", "states": 40513, "report_states": 3456,
+        "report_state_pct": 8.5, "reports": 4304, "report_cycles": 4303,
+        "reports_per_cycle": 0.004, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.41,
+    },
+    "Protomata": {
+        "family": "Regex", "states": 42009, "report_states": 2365,
+        "report_state_pct": 5.6, "reports": 127413, "report_cycles": 105722,
+        "reports_per_cycle": 0.124, "reports_per_report_cycle": 1.21,
+        "report_cycle_pct": 10.08,
+    },
+    "Ranges05": {
+        "family": "Regex", "states": 12621, "report_states": 299,
+        "report_state_pct": 2.4, "reports": 39, "report_cycles": 38,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.03,
+        "report_cycle_pct": 0.0,
+    },
+    "Ranges1": {
+        "family": "Regex", "states": 12464, "report_states": 297,
+        "report_state_pct": 2.4, "reports": 26, "report_cycles": 26,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "Snort": {
+        "family": "Regex", "states": 66466, "report_states": 4166,
+        "report_state_pct": 6.3, "reports": 1710495, "report_cycles": 995011,
+        "reports_per_cycle": 1.670, "reports_per_report_cycle": 1.72,
+        "report_cycle_pct": 94.89,
+    },
+    "TCP": {
+        "family": "Regex", "states": 19704, "report_states": 767,
+        "report_state_pct": 3.9, "reports": 103415, "report_cycles": 103198,
+        "reports_per_cycle": 0.101, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 9.84,
+    },
+    "ClamAV": {
+        "family": "Regex", "states": 49538, "report_states": 515,
+        "report_state_pct": 1.0, "reports": 0, "report_cycles": 0,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 0.0,
+        "report_cycle_pct": 0.0,
+    },
+    "Hamming": {
+        "family": "Mesh", "states": 11346, "report_states": 186,
+        "report_state_pct": 1.6, "reports": 2, "report_cycles": 2,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "Levenshtein": {
+        "family": "Mesh", "states": 2784, "report_states": 96,
+        "report_state_pct": 3.4, "reports": 4, "report_cycles": 4,
+        "reports_per_cycle": 0.0, "reports_per_report_cycle": 1.00,
+        "report_cycle_pct": 0.0,
+    },
+    "Fermi": {
+        "family": "Widget", "states": 40783, "report_states": 2399,
+        "report_state_pct": 5.9, "reports": 96127, "report_cycles": 13444,
+        "reports_per_cycle": 0.094, "reports_per_report_cycle": 7.15,
+        "report_cycle_pct": 1.28,
+    },
+    "RandomForest": {
+        "family": "Widget", "states": 33220, "report_states": 1661,
+        "report_state_pct": 5.0, "reports": 21310, "report_cycles": 3322,
+        "reports_per_cycle": 0.021, "reports_per_report_cycle": 6.41,
+        "report_cycle_pct": 0.32,
+    },
+    "SPM": {
+        "family": "Widget", "states": 100500, "report_states": 5025,
+        "report_state_pct": 5.0, "reports": 47304453, "report_cycles": 33933,
+        "reports_per_cycle": 46.19, "reports_per_report_cycle": 1394.0,
+        "report_cycle_pct": 3.24,
+    },
+    "EntityResolution": {
+        "family": "Widget", "states": 95136, "report_states": 1000,
+        "report_state_pct": 1.1, "reports": 37628, "report_cycles": 28612,
+        "reports_per_cycle": 0.037, "reports_per_report_cycle": 1.32,
+        "report_cycle_pct": 2.73,
+    },
+}
+
+#: Paper Table 4 reference values (reporting overheads, 4-nibble rate).
+PAPER_TABLE4 = {
+    "Brill": {"sunder_flushes": 666, "sunder": 1.04, "sunder_fifo": 1.0,
+              "ap": 7.07, "ap_rad": 2.95},
+    "Bro217": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+               "ap": 1.6, "ap_rad": 1.3},
+    "Dotstar03": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                  "ap": 1.0, "ap_rad": 1.0},
+    "Dotstar06": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                  "ap": 1.0, "ap_rad": 1.0},
+    "Dotstar09": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                  "ap": 1.0, "ap_rad": 1.0},
+    "ExactMatch": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                   "ap": 1.0, "ap_rad": 1.0},
+    "PowerEN": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                "ap": 1.1, "ap_rad": 1.05},
+    "Protomata": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                  "ap": 5.8, "ap_rad": 2.32},
+    "Ranges05": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                 "ap": 1.0, "ap_rad": 1.0},
+    "Ranges1": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                "ap": 1.0, "ap_rad": 1.0},
+    "Snort": {"sunder_flushes": 1, "sunder": 1.01, "sunder_fifo": 1.0,
+              "ap": 46.0, "ap_rad": 9.0},
+    "TCP": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+            "ap": 3.8, "ap_rad": 2.5},
+    "ClamAV": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+               "ap": 1.0, "ap_rad": 1.0},
+    "Hamming": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                "ap": 1.0, "ap_rad": 1.0},
+    "Levenshtein": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                    "ap": 1.0, "ap_rad": 1.0},
+    "Fermi": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+              "ap": 2.3, "ap_rad": 1.5},
+    "RandomForest": {"sunder_flushes": 0, "sunder": 1.0, "sunder_fifo": 1.0,
+                     "ap": 1.6, "ap_rad": 1.3},
+    "SPM": {"sunder_flushes": 9212, "sunder": 1.06, "sunder_fifo": 1.03,
+            "ap": 9.7, "ap_rad": 9.7},
+    "EntityResolution": {"sunder_flushes": 0, "sunder": 1.0,
+                         "sunder_fifo": 1.0, "ap": 2.25, "ap_rad": 1.8},
+}
+
+#: Paper Table 3 reference (state-ratio averages per processing rate).
+PAPER_TABLE3_AVERAGES = {
+    "state_ratio": {1: 3.1, 2: 1.0, 4: 1.2},
+    "transition_ratio": {1: 4.5, 2: 1.0, 4: 1.8},
+}
+
+_BUILDERS = {
+    "Brill": regex_families.build_brill,
+    "Bro217": regex_families.build_bro217,
+    "Dotstar03": regex_families.build_dotstar03,
+    "Dotstar06": regex_families.build_dotstar06,
+    "Dotstar09": regex_families.build_dotstar09,
+    "ExactMatch": regex_families.build_exactmatch,
+    "PowerEN": regex_families.build_poweren,
+    "Protomata": regex_families.build_protomata,
+    "Ranges05": regex_families.build_ranges05,
+    "Ranges1": regex_families.build_ranges1,
+    "Snort": regex_families.build_snort,
+    "TCP": regex_families.build_tcp,
+    "ClamAV": regex_families.build_clamav,
+    "Hamming": mesh.build_hamming,
+    "Levenshtein": mesh.build_levenshtein,
+    "Fermi": widgets.build_fermi,
+    "RandomForest": widgets.build_randomforest,
+    "SPM": widgets.build_spm,
+    "EntityResolution": widgets.build_entityresolution,
+}
+
+#: Benchmark names in the paper's Table 1 order.
+BENCHMARK_NAMES = tuple(PAPER_TABLE1)
+
+
+def generate(name, scale=0.02, seed=0):
+    """Build one benchmark instance by name."""
+    if name not in _BUILDERS:
+        raise WorkloadError(
+            "unknown benchmark %r (choose from %s)"
+            % (name, ", ".join(BENCHMARK_NAMES))
+        )
+    return _BUILDERS[name](scale=scale, seed=seed,
+                           paper_row=PAPER_TABLE1[name])
+
+
+def generate_all(scale=0.02, seed=0, names=None):
+    """Build every benchmark (or the named subset), in Table 1 order."""
+    chosen = names if names is not None else BENCHMARK_NAMES
+    return [generate(name, scale=scale, seed=seed) for name in chosen]

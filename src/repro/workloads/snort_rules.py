@@ -1,0 +1,159 @@
+"""Minimal Snort-rule front end.
+
+Real intrusion rulesets arrive as Snort rules, not raw regexes.  This
+parser handles the payload-matching subset that maps onto automata —
+``content`` (with ``nocase``) and ``pcre`` options — and compiles a rule
+file into one homogeneous NFA whose report codes are the rules' ``sid``s.
+
+Supported grammar (one rule per line)::
+
+    alert tcp any any -> any any (msg:"..."; content:"GET /admin"; \
+        content:"|0d 0a|"; nocase; pcre:"/foo[0-9]+/i"; sid:1001;)
+
+Unsupported options (flow, depth/offset, byte_test, ...) are ignored with
+a warning list — matching fidelity is payload-content only, which is what
+the pattern-matching accelerator sees.
+"""
+
+import re as _re
+
+from ..automata.ops import union
+from ..errors import WorkloadError
+from ..regex.compiler import compile_pattern
+from .base import escape_literal
+
+_OPTION_RE = _re.compile(r'(\w+)\s*(?::\s*("(?:[^"\\]|\\.)*"|[^;]*))?;')
+_HEX_BLOCK_RE = _re.compile(r"\|([0-9a-fA-F\s]+)\|")
+
+
+def _decode_content(text):
+    """Decode a Snort content string: quoted, with |hex| blocks."""
+    if not (text.startswith('"') and text.endswith('"')):
+        raise WorkloadError("content must be quoted: %r" % text)
+    body = text[1:-1]
+    out = bytearray()
+    index = 0
+    while index < len(body):
+        char = body[index]
+        if char == "|":
+            match = _HEX_BLOCK_RE.match(body, index)
+            if not match:
+                raise WorkloadError("unterminated hex block in %r" % text)
+            for token in match.group(1).split():
+                out.append(int(token, 16))
+            index = match.end()
+        elif char == "\\" and index + 1 < len(body):
+            out.append(ord(body[index + 1]))
+            index += 2
+        else:
+            out.append(ord(char))
+            index += 1
+    if not out:
+        raise WorkloadError("empty content in %r" % text)
+    return bytes(out)
+
+
+class SnortRule:
+    """One parsed rule: its payload predicates and metadata."""
+
+    def __init__(self, sid, msg, contents, pcres, ignored_options):
+        self.sid = sid
+        self.msg = msg
+        self.contents = contents      # list of (bytes, nocase)
+        self.pcres = pcres            # list of (pattern, ignore_case)
+        self.ignored_options = ignored_options
+
+    def to_automaton(self):
+        """Compile to an automaton reporting the rule's sid.
+
+        Multiple ``content``s become an ordered ``.*``-joined sequence
+        (Snort semantics: each content found after the previous one);
+        ``pcre``s append the same way.
+        """
+        parts = []
+        for data, nocase in self.contents:
+            literal = escape_literal(data)
+            parts.append(("(?:%s)" % literal, nocase))
+        for pattern, ignore_case in self.pcres:
+            parts.append(("(?:%s)" % pattern, ignore_case))
+        if not parts:
+            raise WorkloadError("rule sid:%s has no payload predicates"
+                                % self.sid)
+        ignore_case = any(flag for _, flag in parts)
+        joined = ".*".join(body for body, _ in parts)
+        return compile_pattern(
+            joined, name="sid%s" % self.sid, report_code=self.sid,
+            ignore_case=ignore_case,
+        )
+
+
+def parse_rule(line):
+    """Parse one rule line into a :class:`SnortRule`."""
+    line = line.strip()
+    open_paren = line.find("(")
+    if not line.lower().startswith(("alert", "log", "pass", "drop",
+                                    "reject")) or open_paren < 0 \
+            or not line.endswith(")"):
+        raise WorkloadError("not a Snort rule: %r" % line[:60])
+    body = line[open_paren + 1:-1]
+
+    sid = None
+    msg = None
+    contents = []
+    pcres = []
+    ignored = []
+    pending_nocase_target = None
+    for match in _OPTION_RE.finditer(body):
+        keyword = match.group(1).lower()
+        value = (match.group(2) or "").strip()
+        if keyword == "sid":
+            sid = int(value)
+        elif keyword == "msg":
+            msg = value.strip('"')
+        elif keyword == "content":
+            contents.append([_decode_content(value), False])
+            pending_nocase_target = contents
+        elif keyword == "pcre":
+            pattern = value.strip('"')
+            if not pattern.startswith("/"):
+                raise WorkloadError("pcre must be /.../: %r" % value)
+            closing = pattern.rfind("/")
+            flags = pattern[closing + 1:]
+            pcres.append([pattern[1:closing], "i" in flags])
+            pending_nocase_target = None
+        elif keyword == "nocase":
+            if pending_nocase_target is None or not pending_nocase_target:
+                raise WorkloadError("nocase without a preceding content")
+            pending_nocase_target[-1][1] = True
+        else:
+            ignored.append(keyword)
+    if sid is None:
+        raise WorkloadError("rule has no sid: %r" % line[:60])
+    return SnortRule(
+        sid, msg,
+        [tuple(entry) for entry in contents],
+        [tuple(entry) for entry in pcres],
+        ignored,
+    )
+
+
+def parse_rules(text):
+    """Parse a rule file (skipping blanks and ``#`` comments)."""
+    rules = []
+    for line_number, line in enumerate(text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            rules.append(parse_rule(stripped))
+        except WorkloadError as error:
+            raise WorkloadError("line %d: %s" % (line_number, error)) from error
+    if not rules:
+        raise WorkloadError("no rules found")
+    return rules
+
+
+def compile_rules(text, name="snort"):
+    """Compile a rule file into one automaton (report codes = sids)."""
+    rules = parse_rules(text)
+    return union([rule.to_automaton() for rule in rules], name=name)

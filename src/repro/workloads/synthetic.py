@@ -1,0 +1,113 @@
+"""User-facing synthetic workload builder with explicit dynamic targets.
+
+The 19 named benchmarks hard-code their Table 1 targets; this API exposes
+the same machinery for arbitrary targets — useful for sensitivity studies
+("what does my reporting architecture do at 40% report cycles with
+16-wide bursts?") and for the empirical Figure 10 validation.
+"""
+
+from ..errors import WorkloadError
+from ..regex.compiler import compile_pattern
+from .base import (
+    WorkloadInstance,
+    WorkloadRandom,
+    assemble,
+    build_input,
+    burst_group_patterns,
+    escape_literal,
+    grow_cold_rules,
+    infer_noise_budget,
+    poisson_positions,
+)
+
+
+def synthetic_workload(
+    name="synthetic",
+    states=500,
+    report_cycle_pct=5.0,
+    burst_size=1,
+    burst_fraction=1.0,
+    pattern_length=12,
+    witness_length=6,
+    scale=0.01,
+    seed=0,
+):
+    """Build a workload hitting the requested dynamic profile.
+
+    Parameters
+    ----------
+    states:
+        Target automaton size (cold rules pad to it).
+    report_cycle_pct:
+        Percentage of byte cycles with at least one report.
+    burst_size / burst_fraction:
+        ``burst_fraction`` of reporting cycles fire ``burst_size``
+        same-cycle reports (a shared-witness burst group); the rest fire
+        a single report.
+    pattern_length:
+        Cold-rule length — controls the report-state fraction
+        (roughly ``1/pattern_length``).
+    witness_length:
+        Hot-witness length; must satisfy
+        ``report_cycle_pct/100 * (witness_length + 1) < 1`` so the plants
+        fit in the stream.
+    """
+    if burst_size < 1:
+        raise WorkloadError("burst_size must be >= 1")
+    if not 0.0 <= burst_fraction <= 1.0:
+        raise WorkloadError("burst_fraction must be in [0, 1]")
+    if not 0.0 <= report_cycle_pct <= 100.0:
+        raise WorkloadError("report_cycle_pct must be in [0, 100]")
+    density = report_cycle_pct / 100.0 * (witness_length + 1)
+    if density >= 1.0:
+        raise WorkloadError(
+            "witness_length %d too long for %.1f%% report cycles"
+            % (witness_length, report_cycle_pct)
+        )
+
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+
+    burst_witness = rng.literal(witness_length, b"abcdefghijklmnop")
+    single_witness = rng.literal(witness_length, b"qrstuvwxyz")
+    hot_rules = []
+    if burst_size > 1:
+        for index, body in enumerate(
+            burst_group_patterns(burst_witness, burst_size, rng)
+        ):
+            hot_rules.append(compile_pattern(
+                body, name="%s_b%d" % (name, index),
+                report_code="%s/b%d" % (name, index),
+            ))
+    else:
+        hot_rules.append(compile_pattern(
+            escape_literal(burst_witness), name="%s_b0" % name,
+            report_code="%s/b0" % name,
+        ))
+    hot_rules.append(compile_pattern(
+        escape_literal(single_witness), name="%s_s" % name,
+        report_code="%s/s" % name,
+    ))
+
+    cold_budget = max(0, states - sum(len(rule) for rule in hot_rules))
+    cold = grow_cold_rules(
+        rng, lambda r: escape_literal(r.cold_literal(pattern_length)),
+        cold_budget, name,
+    )
+    automaton = assemble(name, hot_rules + cold)
+
+    total_plants = int(round(input_length * report_cycle_pct / 100.0))
+    burst_plants = int(round(total_plants * burst_fraction))
+    single_plants = total_plants - burst_plants
+    positions = poisson_positions(
+        rng, input_length, burst_plants + single_plants, witness_length
+    )
+    plants = [(p, burst_witness) for p in positions[:burst_plants]]
+    plants += [(p, single_witness) for p in positions[burst_plants:]]
+    data = build_input(rng, input_length, plants)
+    return WorkloadInstance(name, "Synthetic", automaton, data, {
+        "report_cycle_pct": report_cycle_pct,
+        "reports_per_report_cycle": (
+            burst_fraction * burst_size + (1.0 - burst_fraction)
+        ),
+    })

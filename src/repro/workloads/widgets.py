@@ -1,0 +1,284 @@
+"""Widget-family workloads: SPM, RandomForest, Fermi, EntityResolution.
+
+ANMLZoo's "Widget" benchmarks are machine-generated automata with very
+regular structure.  Each builder reproduces the published shape: states
+per rule, report-state fraction, and — through planted witnesses — the
+dynamic reporting profile of Table 1 (SPM's 1394-wide report bursts are
+the stress case the whole reporting architecture is designed around).
+"""
+
+from ..automata.automaton import Automaton
+from ..automata.ste import StartKind
+from ..automata.symbolset import SymbolSet
+from .base import (
+    WorkloadInstance,
+    WorkloadRandom,
+    assemble,
+    build_input,
+    infer_noise_budget,
+    poisson_positions,
+    scaled,
+)
+
+#: Item alphabet for the data-mining widgets.
+ITEM_ALPHABET = b"abcdefghijklmnopqrstuvwxyz"
+
+
+def spm_automaton(items, name, report_code):
+    """One sequential-pattern-mining automaton (Wang et al., CF'16).
+
+    Matches ``items[0] .* items[1] .* ... items[k-1]`` via gap states
+    that self-loop on any symbol — the classic SPM widget: an item chain
+    where arbitrary transactions may separate the items.
+    """
+    automaton = Automaton(name=name, bits=8)
+    previous = None
+    last = len(items) - 1
+    for index, item in enumerate(items):
+        item_id = "%s_i%d" % (name, index)
+        automaton.new_state(
+            item_id,
+            SymbolSet.single(8, item),
+            start=StartKind.ALL_INPUT if index == 0 else StartKind.NONE,
+            report=index == last,
+            report_code=report_code if index == last else None,
+        )
+        if previous is not None:
+            gap_id = "%s_g%d" % (name, index)
+            automaton.new_state(gap_id, SymbolSet.full(8))
+            automaton.add_transition(previous, gap_id)
+            automaton.add_transition(gap_id, gap_id)
+            automaton.add_transition(gap_id, item_id)
+            automaton.add_transition(previous, item_id)
+        previous = item_id
+    return automaton.validate()
+
+
+def chain_automaton(classes, name, report_code, start=StartKind.ALL_INPUT):
+    """A straight chain of character-class states, reporting at the end."""
+    automaton = Automaton(name=name, bits=8)
+    previous = None
+    last = len(classes) - 1
+    for index, symbol_set in enumerate(classes):
+        state_id = "%s_%d" % (name, index)
+        automaton.new_state(
+            state_id,
+            symbol_set,
+            start=start if index == 0 else StartKind.NONE,
+            report=index == last,
+            report_code=report_code if index == last else None,
+        )
+        if previous is not None:
+            automaton.add_transition(previous, state_id)
+        previous = state_id
+    return automaton.validate()
+
+
+def build_spm(scale=0.02, seed=0, paper_row=None):
+    """SPM stand-in: dense, bursty reporting (paper: 1394 reports/cycle).
+
+    A planted "burst transaction" satisfies a large fraction of the
+    mined patterns simultaneously: every burst rule is a subsequence of
+    one witness string, so a single plant fires them all on the same
+    cycle (their items chains all end on the witness's last symbol).
+    """
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(100_500, scale, minimum=200)
+    # Paper shape: ~20 states per mined pattern (100500/5025), and the
+    # burst width is 27.7% of the report states.
+    report_target = max(4, states_target // 20)
+    burst_size = max(2, int(round(0.277 * report_target)))
+
+    witness = rng.literal(14, ITEM_ALPHABET)
+    rules = []
+    # Burst rules: long subsequences of the witness sharing its final
+    # symbol, so one plant of `witness` completes every one of them at
+    # once (and each rule has the paper's ~20-state footprint).
+    seen = set()
+    while len(rules) < burst_size:
+        k = rng.randint(8, 10)
+        picks = sorted(rng.sample(range(len(witness) - 1), k - 1))
+        items = bytes(witness[p] for p in picks) + witness[-1:]
+        if items in seen:
+            continue
+        seen.add(items)
+        rules.append(spm_automaton(
+            items, "spm_b%d" % len(rules), "SPM/b%d" % len(rules)
+        ))
+
+    # Cold rules bulk the automaton out to the paper's state count; they
+    # mine items from a disjoint alphabet so they never complete.
+    cold_alphabet = bytes(range(0x80, 0xA0))
+    total = sum(len(rule) for rule in rules)
+    while total < states_target:
+        k = rng.randint(9, 11)
+        items = rng.literal(k, cold_alphabet)
+        rule = spm_automaton(
+            items, "spm_c%d" % len(rules), "SPM/c%d" % len(rules)
+        )
+        rules.append(rule)
+        total += len(rule)
+    automaton = assemble("SPM", rules)
+
+    plant_count = int(round(input_length * 3.24 / 100.0))
+    positions = poisson_positions(
+        rng, input_length, max(1, plant_count), len(witness)
+    )
+    # Noise must avoid the witness letters: SPM gap states pass anything,
+    # so stray witness symbols would complete patterns early.
+    noise = bytes(sorted(set(b"0123456789 ,;") - set(witness)))
+    data = build_input(
+        rng, input_length, [(p, witness) for p in positions],
+        noise_alphabet=noise,
+    )
+    return WorkloadInstance("SPM", "Widget", automaton, data, paper_row)
+
+
+def build_randomforest(scale=0.02, seed=0, paper_row=None):
+    """RandomForest stand-in: fixed-depth feature chains, 6.4-wide bursts."""
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(33_220, scale, minimum=120)
+    depth = 20  # 33220 states / 1661 report states = 20 states per tree
+    burst_size = 7
+
+    witness = rng.literal(depth, ITEM_ALPHABET)
+    rules = []
+    for index in range(burst_size):
+        # Each tree tests the same feature vector with wider thresholds
+        # (classes containing the witness symbol), so one plant satisfies
+        # the whole group of trees.
+        classes = []
+        for position in range(depth):
+            value = witness[position]
+            low = max(ord("a"), value - rng.randint(0, 2))
+            high = min(ord("z"), value + rng.randint(0, 2))
+            classes.append(SymbolSet.from_ranges(8, [(low, high)]))
+        rules.append(chain_automaton(
+            classes, "rf_b%d" % index, "RF/b%d" % index
+        ))
+
+    cold_low, cold_high = 0x80, 0x9F
+    total = sum(len(rule) for rule in rules)
+    while total < states_target:
+        classes = [
+            SymbolSet.from_ranges(8, [(
+                rng.randint(cold_low, cold_high - 4),
+                rng.randint(cold_high - 3, cold_high),
+            )])
+            for _ in range(depth)
+        ]
+        rule = chain_automaton(
+            classes, "rf_c%d" % len(rules), "RF/c%d" % len(rules)
+        )
+        rules.append(rule)
+        total += len(rule)
+    automaton = assemble("RandomForest", rules)
+
+    plant_count = max(1, int(round(input_length * 0.32 / 100.0)))
+    positions = poisson_positions(rng, input_length, plant_count, depth)
+    data = build_input(rng, input_length, [(p, witness) for p in positions])
+    return WorkloadInstance("RandomForest", "Widget", automaton, data, paper_row)
+
+
+def build_fermi(scale=0.02, seed=0, paper_row=None):
+    """Fermi stand-in: particle-path chains, ~7-wide report bursts."""
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(40_783, scale, minimum=120)
+    depth = 17  # 40783 / 2399 report states
+    burst_size = 8
+
+    witness = rng.literal(depth, ITEM_ALPHABET)
+    rules = []
+    for index in range(burst_size):
+        classes = []
+        for position in range(depth):
+            value = witness[position]
+            members = {value}
+            while len(members) < rng.randint(1, 3):
+                members.add(rng.choice(ITEM_ALPHABET))
+            classes.append(SymbolSet.of(8, members))
+        rules.append(chain_automaton(
+            classes, "fermi_b%d" % index, "Fermi/b%d" % index
+        ))
+
+    total = sum(len(rule) for rule in rules)
+    while total < states_target:
+        classes = [
+            SymbolSet.of(8, {rng.randint(0x80, 0x9F) for _ in range(3)})
+            for _ in range(depth)
+        ]
+        rule = chain_automaton(
+            classes, "fermi_c%d" % len(rules), "Fermi/c%d" % len(rules)
+        )
+        rules.append(rule)
+        total += len(rule)
+    automaton = assemble("Fermi", rules)
+
+    plant_count = max(1, int(round(input_length * 1.28 / 100.0)))
+    positions = poisson_positions(rng, input_length, plant_count, depth)
+    data = build_input(rng, input_length, [(p, witness) for p in positions])
+    return WorkloadInstance("Fermi", "Widget", automaton, data, paper_row)
+
+
+def build_entityresolution(scale=0.02, seed=0, paper_row=None):
+    """EntityResolution stand-in: long name-matching chains, sparse reports."""
+    rng = WorkloadRandom(seed)
+    input_length = infer_noise_budget(scale)
+    states_target = scaled(95_136, scale, minimum=200)
+    # The paper's ratio is ~95 states per report state; hot chains are
+    # kept short enough for 2.73% plant density, cold chains are long to
+    # pull the report-state fraction down toward the paper's 1.1%.
+    depth = 24
+    cold_depth = 70
+    witness = rng.literal(depth, ITEM_ALPHABET)
+
+    rules = []
+    # A burst pair giving 1.32 reports per report cycle: the "strict"
+    # rule matches only the exact witness; the "fuzzy" rule also accepts
+    # '?' placeholders, so mutated plants fire it alone.
+    for index, fuzzy in enumerate((False, True)):
+        classes = []
+        for position in range(depth):
+            members = {witness[position]}
+            if fuzzy:
+                members.add(0x3F)  # '?'
+            classes.append(SymbolSet.of(8, members))
+        rules.append(chain_automaton(
+            classes, "er_b%d" % index, "ER/b%d" % index
+        ))
+
+    total = sum(len(rule) for rule in rules)
+    while total < states_target:
+        classes = [
+            SymbolSet.of(8, {rng.randint(0xA0, 0xBF), rng.randint(0xA0, 0xBF)})
+            for _ in range(cold_depth)
+        ]
+        rule = chain_automaton(
+            classes, "er_c%d" % len(rules), "ER/c%d" % len(rules)
+        )
+        rules.append(rule)
+        total += len(rule)
+    automaton = assemble("EntityResolution", rules)
+
+    # 2.73% report cycles, 32% of which fire both burst rules; the pair
+    # shares the witness, so every plant fires both — thin the second
+    # rule's firing by planting a mutated witness for 68% of plants.
+    plant_count = max(1, int(round(input_length * 2.73 / 100.0)))
+    positions = poisson_positions(rng, input_length, plant_count, depth)
+    plants = []
+    for position in positions:
+        if rng.random() < 0.32:
+            plants.append((position, witness))
+        else:
+            mutated = bytearray(witness)
+            spot = rng.randrange(depth)
+            # '?' fails the strict rule but passes the fuzzy one.
+            mutated[spot] = 0x3F
+            plants.append((position, bytes(mutated)))
+    data = build_input(rng, input_length, plants)
+    return WorkloadInstance(
+        "EntityResolution", "Widget", automaton, data, paper_row
+    )

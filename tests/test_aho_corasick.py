@@ -1,0 +1,118 @@
+"""Aho-Corasick baseline tests: three-way differential anchoring."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.aho_corasick import AhoCorasick
+from repro.errors import WorkloadError
+from repro.sim import BitsetEngine
+
+
+def _reference_find(patterns, data):
+    """Brute-force oracle: all (end, code) pairs by direct scanning."""
+    hits = set()
+    for pattern, code in patterns:
+        for start in range(len(data) - len(pattern) + 1):
+            if data[start:start + len(pattern)] == pattern:
+                hits.add((start + len(pattern) - 1, code))
+    return hits
+
+
+class TestMatching:
+    def test_textbook_example(self):
+        # The classic {he, she, his, hers} example.
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        hits = ac.find(b"ushers")
+        assert hits == {(3, b"she"), (3, b"he"), (5, b"hers")}
+
+    def test_overlapping_patterns(self):
+        ac = AhoCorasick([b"aa", b"aaa"])
+        assert ac.find(b"aaaa") == {
+            (1, b"aa"), (2, b"aa"), (3, b"aa"), (2, b"aaa"), (3, b"aaa"),
+        }
+
+    def test_custom_codes(self):
+        ac = AhoCorasick([(b"ab", "X"), (b"b", "Y")])
+        assert ac.find(b"ab") == {(1, "X"), (1, "Y")}
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            AhoCorasick([b""])
+        with pytest.raises(WorkloadError):
+            AhoCorasick([])
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_against_bruteforce(self, seed):
+        rng = random.Random(seed)
+        patterns = [
+            (bytes(rng.choice(b"abc") for _ in range(rng.randint(1, 4))),
+             index)
+            for index in range(rng.randint(1, 6))
+        ]
+        ac = AhoCorasick(patterns)
+        for _ in range(10):
+            data = bytes(rng.choice(b"abc") for _ in range(rng.randint(0, 30)))
+            assert ac.find(data) == _reference_find(patterns, data), (
+                patterns, data,
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=4), min_size=1,
+                    max_size=5),
+           st.binary(max_size=32))
+    def test_against_bruteforce_hypothesis(self, raw_patterns, data):
+        patterns = [(pattern, index)
+                    for index, pattern in enumerate(raw_patterns)]
+        ac = AhoCorasick(patterns)
+        assert ac.find(data) == _reference_find(patterns, data)
+
+
+class TestNfaConversion:
+    def test_nfa_matches_ac(self):
+        patterns = [b"he", b"she", b"his", b"hers"]
+        ac = AhoCorasick(patterns)
+        automaton = ac.to_automaton()
+        data = b"ushers and his heroes"
+        recorder = BitsetEngine(automaton).run(list(data))
+        nfa_hits = set()
+        for event in recorder.events:
+            for code in event.report_code.split("+"):
+                nfa_hits.add((event.position, code))
+        want = {(pos, str(code)) for pos, code in ac.find(data)}
+        assert nfa_hits == want
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_nfa_matches_ac_random(self, seed):
+        rng = random.Random(100 + seed)
+        patterns = sorted({
+            bytes(rng.choice(b"xy") for _ in range(rng.randint(1, 5)))
+            for _ in range(rng.randint(1, 5))
+        })
+        ac = AhoCorasick(patterns)
+        automaton = ac.to_automaton()
+        data = bytes(rng.choice(b"xy") for _ in range(40))
+        recorder = BitsetEngine(automaton).run(list(data))
+        nfa_hits = set()
+        for event in recorder.events:
+            for code in event.report_code.split("+"):
+                nfa_hits.add((event.position, code))
+        want = {(pos, str(code)) for pos, code in ac.find(data)}
+        assert nfa_hits == want
+
+    def test_nfa_feeds_the_sunder_pipeline(self):
+        from repro.transform import check_equivalent, to_rate
+        automaton = AhoCorasick([b"virus", b"rusty"]).to_automaton()
+        strided = to_rate(automaton, 4)
+        check_equivalent(automaton, strided, b"a virusty virus!")
+
+    def test_state_counts(self):
+        ac = AhoCorasick([b"he", b"she", b"his", b"hers"])
+        # Trie nodes: h,e, s,h,e, i,s, r,s -> 9 + root.
+        assert ac.num_states == 10
+        assert len(ac.to_automaton()) == 9
+
+    def test_memory_model_positive(self):
+        ac = AhoCorasick([b"abc"])
+        assert ac.memory_bytes() > 0

@@ -1,0 +1,85 @@
+"""Capacity-planning tests."""
+
+import pytest
+
+from repro.core.capacity import plan_rates, recommend_rate
+from repro.errors import CapacityError
+from repro.regex import compile_ruleset
+
+
+@pytest.fixture(scope="module")
+def small_machine():
+    return compile_ruleset(["alpha[0-9]", "beta.", "gamma+"])
+
+
+@pytest.fixture(scope="module")
+def big_machine():
+    # Large enough to need multiple rounds on a 1-cluster device at
+    # higher rates (reporting columns are the bottleneck: 12 per PU).
+    return compile_ruleset(["pattern%03d[a-z]{8}" % i for i in range(120)])
+
+
+class TestPlanRates:
+    def test_all_rates_for_small_machine(self, small_machine):
+        plans = plan_rates(small_machine, device_clusters=4)
+        assert set(plans) == {1, 2, 4}
+        for rate, plan in plans.items():
+            assert plan.rounds == 1
+            assert plan.gbps_nominal == pytest.approx(14.46 * rate, rel=0.01)
+            assert plan.effective_gbps == plan.gbps_nominal
+
+    def test_report_rows_shrink_with_rate(self, small_machine):
+        plans = plan_rates(small_machine, device_clusters=4)
+        assert plans[1].report_rows > plans[2].report_rows > plans[4].report_rows
+
+    def test_rounds_appear_when_device_small(self, big_machine):
+        plans = plan_rates(big_machine, device_clusters=1)
+        assert any(plan.rounds > 1 for plan in plans.values())
+
+    def test_plan_dict_roundtrip(self, small_machine):
+        plans = plan_rates(small_machine, device_clusters=2)
+        record = plans[4].as_dict()
+        assert record["rate"] == 4
+        assert record["effective_gbps"] == plans[4].effective_gbps
+
+
+class TestRecommendation:
+    def test_small_machine_prefers_fastest_rate(self, small_machine):
+        best, _ = recommend_rate(small_machine, device_clusters=4)
+        assert best.rate == 4  # no round penalty -> highest throughput
+
+    def test_round_penalty_can_flip_the_choice(self, big_machine):
+        best_large, plans_large = recommend_rate(big_machine,
+                                                 device_clusters=32)
+        best_small, plans_small = recommend_rate(big_machine,
+                                                 device_clusters=1)
+        # With a big device the fastest single-round rate wins; with a
+        # tiny device the effective (round-divided) throughput decides.
+        assert plans_large[best_large.rate].rounds == 1
+        assert best_large.effective_gbps == max(
+            plan.effective_gbps for plan in plans_large.values()
+        )
+        assert best_small.effective_gbps == max(
+            plan.effective_gbps for plan in plans_small.values()
+        )
+        # The small device needs strictly more rounds at the highest rate.
+        assert plans_small[4].rounds > plans_large[4].rounds
+
+    def test_impossible_machine_rejected(self):
+        # One gigantic connected component: no rate can place it.
+        from repro.automata import Automaton, SymbolSet
+        machine = Automaton(bits=8)
+        previous = None
+        for index in range(6000):
+            state_id = "s%d" % index
+            machine.new_state(
+                state_id, SymbolSet.single(8, index % 256),
+                start="all-input" if index == 0 else "none",
+                report=index == 5999,
+                report_code="end" if index == 5999 else None,
+            )
+            if previous:
+                machine.add_transition(previous, state_id)
+            previous = state_id
+        with pytest.raises(CapacityError):
+            plan_rates(machine, device_clusters=2)

@@ -1,0 +1,108 @@
+"""Classic-NFA homogenization tests (paper Figure 1)."""
+
+import random
+
+import pytest
+
+from repro.automata import SymbolSet
+from repro.automata.classic import ClassicNfa, figure1_example
+from repro.errors import AutomatonError
+from repro.sim import BitsetEngine
+
+
+def _homogeneous_hits(automaton, symbols):
+    recorder = BitsetEngine(automaton).run(list(symbols))
+    return {(event.position, event.report_code) for event in recorder.events}
+
+
+def _random_classic(rng, n_states=5, n_edges=10, bits=4):
+    nfa = ClassicNfa("rand")
+    ids = ["q%d" % index for index in range(n_states)]
+    for index, state_id in enumerate(ids):
+        nfa.add_state(
+            state_id,
+            initial=index == 0,
+            accepting=index != 0 and rng.random() < 0.4,
+        )
+    for _ in range(n_edges):
+        label = SymbolSet.of(
+            bits, rng.sample(range(1 << bits), rng.randint(1, 4))
+        )
+        nfa.add_edge(rng.choice(ids), label, rng.choice(ids))
+    return nfa
+
+
+class TestFigure1:
+    def test_example_accepts_like_the_figure(self):
+        nfa = figure1_example()
+        assert nfa.simulate(b"AG") == {(1, "match")}
+        assert nfa.simulate(b"ACG") == {(2, "match")}
+        assert nfa.simulate(b"ATTCG") == {(4, "match")}
+        assert nfa.simulate(b"CG") == set()
+
+    def test_homogenized_matches_classic(self):
+        nfa = figure1_example()
+        machine = nfa.homogenize()
+        for data in (b"AG", b"ACG", b"ATTCG", b"CG", b"AAAG", b"A", b""):
+            assert _homogeneous_hits(machine, data) == nfa.simulate(data), data
+
+
+class TestHomogenize:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_classic_equivalence(self, seed):
+        rng = random.Random(seed)
+        nfa = _random_classic(rng)
+        try:
+            machine = nfa.homogenize(bits=4)
+        except AutomatonError:
+            # No edges from initial states, or unreachable accepts: the
+            # homogenizer legitimately produced an empty machine.
+            return
+        for _ in range(10):
+            data = [rng.randrange(16) for _ in range(rng.randint(0, 15))]
+            assert _homogeneous_hits(machine, data) == nfa.simulate(data), (
+                seed, data,
+            )
+
+    def test_homogeneous_property_holds(self):
+        machine = figure1_example().homogenize(minimized=False)
+        # By construction every STE has exactly one label (arity 1), and
+        # all incoming transitions share it — check via predecessors.
+        for state in machine:
+            assert state.arity == 1
+
+    def test_streaming_mode_uses_all_input(self):
+        from repro.automata import StartKind
+        machine = figure1_example().homogenize(streaming=True)
+        kinds = {s.start for s in machine.start_states()}
+        assert kinds == {StartKind.ALL_INPUT}
+        # Streaming finds the match at any offset.
+        assert _homogeneous_hits(machine, b"TTAGTT") == {(3, "match")}
+
+    def test_accepting_initial_rejected(self):
+        nfa = ClassicNfa()
+        nfa.add_state("q0", initial=True, accepting=True)
+        nfa.add_state("q1")
+        nfa.add_edge("q0", SymbolSet.full(8), "q1")
+        with pytest.raises(AutomatonError):
+            nfa.homogenize()
+
+    def test_empty_edge_label_rejected(self):
+        nfa = ClassicNfa()
+        nfa.add_state("a", initial=True)
+        nfa.add_state("b")
+        with pytest.raises(AutomatonError):
+            nfa.add_edge("a", SymbolSet.empty(8), "b")
+
+    def test_unknown_state_rejected(self):
+        nfa = ClassicNfa()
+        nfa.add_state("a", initial=True)
+        with pytest.raises(AutomatonError):
+            nfa.add_edge("a", SymbolSet.full(8), "ghost")
+
+    def test_feeds_the_transform_pipeline(self):
+        from repro.transform import check_equivalent, to_rate
+        machine = figure1_example().homogenize()
+        strided = to_rate(machine, 4)
+        for data in (b"AG", b"ACG", b"ATTCG", b"TTTT"):
+            check_equivalent(machine, strided, data)

@@ -1,0 +1,92 @@
+"""CLI tests (argument wiring and end-to-end command behaviour)."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCompile:
+    def test_summary(self, capsys):
+        assert main(["compile", "abc"]) == 0
+        out = capsys.readouterr().out
+        assert "3 states" in out
+
+    def test_anml_output(self, capsys):
+        assert main(["compile", "ab", "--format", "anml"]) == 0
+        assert "state-transition-element" in capsys.readouterr().out
+
+    def test_mnrl_output(self, capsys):
+        assert main(["compile", "ab", "--format", "mnrl"]) == 0
+        assert '"hState"' in capsys.readouterr().out
+
+    def test_dot_output(self, capsys):
+        assert main(["compile", "ab", "--format", "dot"]) == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+    def test_bad_pattern_reports_error(self, capsys):
+        assert main(["compile", "a(("]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestMatch:
+    def test_text_matching(self, capsys):
+        assert main(["match", "lo wo", "--text", "hello world"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.splitlines() == ["7\tlo wo"]
+        assert "1 matches" in captured.err
+
+    def test_file_matching(self, tmp_path, capsys):
+        path = tmp_path / "input.bin"
+        path.write_bytes(b"xx needle xx needle")
+        assert main(["match", "needle", "--file", str(path),
+                     "--rate", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines() == ["8\tneedle", "18\tneedle"]
+
+
+class TestOtherCommands:
+    def test_transform(self, capsys):
+        assert main(["transform", "ab[0-9]c"]) == 0
+        out = capsys.readouterr().out
+        assert "1 nibble(s):" in out and "4 nibble(s):" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "ab", "--text", "xab"]) == 0
+        assert "REPORT" in capsys.readouterr().out
+
+    def test_workload(self, capsys):
+        assert main(["workload", "Bro217", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "report_cycle_pct" in out
+
+    def test_experiment_table5(self, capsys):
+        assert main(["experiment", "table5"]) == 0
+        assert "Sunder (14nm)" in capsys.readouterr().out
+
+    def test_experiment_with_scale(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.002"]) == 0
+        assert "Snort" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestPlanAndCompare:
+    def test_plan_recommends_a_rate(self, capsys):
+        assert main(["plan", "abc", "--clusters", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "<- recommended" in out
+        assert "effective Gbps" in out
+
+    def test_compare_reports_overheads(self, capsys):
+        assert main(["compare", "ab", "--text", "xxabxxab"]) == 0
+        out = capsys.readouterr().out
+        assert "Sunder (16-bit)" in out
+        assert "AP+RAD" in out
+
+    def test_compare_from_file(self, tmp_path, capsys):
+        path = tmp_path / "input.bin"
+        path.write_bytes(b"needle " * 30)
+        assert main(["compare", "needle", "--file", str(path)]) == 0
+        assert "reporting overhead" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Device-level tests: the bit-faithful hardware path vs the functional engine."""
+
+import random
+
+import pytest
+
+from repro.automata import Automaton, SymbolSet
+from repro.core import SunderConfig, SunderDevice
+from repro.errors import ArchitectureError
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, stream_for
+from repro.transform import to_rate
+
+RULES = ["abc", "b.d", "xy+z", "hello", "[0-9]{3}", "q(rs|tu)v"]
+DATA_ALPHABET = b"abcdxyz hello0123qrstuv"
+
+
+def _run_both(automaton, data, config):
+    device = SunderDevice(config)
+    device.configure(automaton)
+    vectors, limit = stream_for(automaton, data)
+    result = device.run(vectors, position_limit=limit)
+    hardware = result.reports().event_keys()
+    reference = BitsetEngine(automaton).run(
+        vectors, position_limit=limit
+    ).event_keys()
+    return hardware, reference, device, result
+
+
+@pytest.mark.parametrize("rate", [1, 2, 4])
+class TestDifferentialVsEngine:
+    def test_reports_identical(self, rate):
+        rng = random.Random(rate * 7)
+        machine = compile_ruleset(RULES)
+        strided = to_rate(machine, rate)
+        config = SunderConfig(rate_nibbles=rate, report_bits=16)
+        noise = bytes(rng.choice(DATA_ALPHABET) for _ in range(120))
+        data = noise + b"abc" + noise + b" hello 123 " + noise + b"xyyz"
+        hardware, reference, _, _ = _run_both(strided, data, config)
+        assert hardware == reference
+        assert hardware  # the stream must actually exercise reporting
+
+    def test_reports_identical_with_fifo_drain(self, rate):
+        rng = random.Random(rate * 13)
+        machine = compile_ruleset(RULES[:3])
+        strided = to_rate(machine, rate)
+        config = SunderConfig(rate_nibbles=rate, report_bits=16, fifo=True,
+                              fifo_drain_rows_per_cycle=0.5)
+        data = bytes(rng.choice(DATA_ALPHABET) for _ in range(200))
+        hardware, reference, _, _ = _run_both(strided, data, config)
+        assert hardware == reference
+
+
+class TestReportPath:
+    def test_reports_survive_forced_flushes(self):
+        # A tiny reporting region forces many flushes; the host archive
+        # plus the live region must still reconstruct every report.
+        machine = compile_ruleset(["ab"])
+        strided = to_rate(machine, 4)
+        config = SunderConfig(rate_nibbles=4, report_bits=16,
+                              metadata_bits=224, fifo=False)
+        assert config.report_capacity == config.report_rows  # 1 entry/row
+        data = b"ab" * 450  # 450 report cycles > 192-entry capacity
+        hardware, reference, device, _ = _run_both(strided, data, config)
+        assert hardware == reference
+        stats = device.statistics()
+        assert stats["flushes"] >= 1
+
+    def test_metadata_unwrap_across_wraparound(self):
+        # 4-bit metadata counter wraps every 16 cycles; reconstruction
+        # must unwrap it correctly over a much longer run.
+        machine = compile_ruleset(["ab"])
+        strided = to_rate(machine, 4)
+        config = SunderConfig(rate_nibbles=4, report_bits=16,
+                              metadata_bits=4, fifo=False)
+        data = b"ab" * 120
+        hardware, reference, _, _ = _run_both(strided, data, config)
+        assert hardware == reference
+
+    def test_summarize_all(self):
+        machine = compile_ruleset(["ab", "zz"])
+        strided = to_rate(machine, 4)
+        # FIFO off: summarization reads what is resident in the region.
+        config = SunderConfig(rate_nibbles=4, report_bits=16, fifo=False)
+        device = SunderDevice(config)
+        device.configure(strided)
+        vectors, limit = stream_for(strided, b"xxabxxabxx")
+        device.run(vectors, position_limit=limit)
+        summary, stall = device.summarize_all()
+        reported_codes = {
+            strided.state(state_id).report_code for state_id in summary
+        }
+        assert reported_codes == {0}  # rule 0 ("ab") fired, rule 1 did not
+        assert stall >= config.summarize_stall_cycles
+
+    def test_slowdown_accounts_stalls(self):
+        machine = compile_ruleset(["ab"])
+        strided = to_rate(machine, 4)
+        config = SunderConfig(rate_nibbles=4, report_bits=16,
+                              metadata_bits=224, fifo=False,
+                              flush_rows_per_cycle=1)
+        device = SunderDevice(config)
+        device.configure(strided)
+        vectors, limit = stream_for(strided, b"ab" * 400)
+        result = device.run(vectors, position_limit=limit)
+        assert result.slowdown > 1.0
+
+
+class TestConfigurationErrors:
+    def test_byte_automaton_rejected(self, small_ruleset):
+        device = SunderDevice(SunderConfig())
+        with pytest.raises(ArchitectureError):
+            device.configure(small_ruleset)
+
+    def test_step_before_configure_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SunderDevice().step((0, 0, 0, 0))
+
+    def test_multi_pu_automaton_uses_global_switch(self):
+        # A >256-state connected component must span PUs and still match.
+        automaton = Automaton(bits=4, arity=1, start_period=2)
+        previous = None
+        length = 300
+        for index in range(length):
+            state_id = "s%d" % index
+            automaton.new_state(
+                state_id, SymbolSet.of(4, [index % 16]),
+                start="all-input" if index == 0 else "none",
+                report=index == length - 1,
+                report_code="end" if index == length - 1 else None,
+            )
+            if previous:
+                automaton.add_transition(previous, state_id)
+            previous = state_id
+        config = SunderConfig(rate_nibbles=1, report_bits=12)
+        device = SunderDevice(config)
+        placement = device.configure(automaton)
+        assert len(placement.pus_used()) >= 2
+        stream = [index % 16 for index in range(length)]
+        result = device.run(stream, position_limit=length)
+        keys = result.reports().event_keys()
+        assert keys == {(length - 1, "end")}

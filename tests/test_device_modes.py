@@ -1,0 +1,59 @@
+"""Device-mode and selective-reporting tests."""
+
+import pytest
+
+from repro.core import SunderConfig, SunderDevice
+from repro.errors import ArchitectureError
+from repro.regex import compile_ruleset
+from repro.sim import stream_for
+from repro.transform import to_rate
+
+
+@pytest.fixture
+def device_and_stream():
+    machine = to_rate(compile_ruleset([("ab", "AB"), ("zz", "ZZ")]), 2)
+    device = SunderDevice(SunderConfig(rate_nibbles=2, report_bits=16))
+    device.configure(machine)
+    vectors, limit = stream_for(machine, b"ab zz ab")
+    return device, vectors, limit
+
+
+class TestModes:
+    def test_normal_mode_blocks_matching(self, device_and_stream):
+        device, vectors, _ = device_and_stream
+        device.set_mode("normal")
+        with pytest.raises(ArchitectureError):
+            device.step(vectors[0])
+        device.set_mode("automata")
+        device.step(vectors[0])  # works again
+
+    def test_invalid_mode_rejected(self, device_and_stream):
+        device, _, _ = device_and_stream
+        with pytest.raises(ArchitectureError):
+            device.set_mode("turbo")
+
+    def test_normal_mode_host_access_still_works(self, device_and_stream):
+        from repro.core import HostInterface
+        device, vectors, _ = device_and_stream
+        for vector in vectors:
+            device.step(vector)
+        device.set_mode("normal")
+        host = HostInterface(device)
+        address = host.address_map.address_of(0, 0, 0)
+        assert host.load_row(address) is not None
+
+
+class TestLiveReportStatus:
+    def test_status_tracks_current_cycle(self, device_and_stream):
+        device, vectors, _ = device_and_stream
+        # 'ab' occupies the first vector cycle (one byte per cycle at
+        # rate 2): after cycle 0 only 'a' matched, after cycle 1 'ab'
+        # completed and the AB report state is live.
+        device.step(vectors[0])  # 'a'
+        assert device.live_report_status() == {}
+        device.step(vectors[1])  # 'b' -> AB fires
+        status = device.live_report_status()
+        codes = {device.automaton.state(s).report_code for s in status}
+        assert codes == {"AB"}
+        device.step(vectors[2])  # ' ' -> nothing live
+        assert device.live_report_status() == {}

@@ -1,0 +1,69 @@
+"""Energy-model tests."""
+
+import pytest
+
+from repro.core import SunderConfig, SunderDevice
+from repro.hwmodel import ENERGY_PJ, analytic_energy, device_energy
+from repro.regex import compile_ruleset
+from repro.sim import stream_for
+from repro.transform import to_rate
+
+
+class TestPerAccessEnergy:
+    def test_values_follow_table2(self):
+        # 8T: 6.07mW x 150ps = 0.91 pJ per access.
+        assert ENERGY_PJ["sunder_8t"] == pytest.approx(0.91, abs=0.01)
+        assert ENERGY_PJ["ca_6t"] == pytest.approx(1.214, abs=0.01)
+        assert ENERGY_PJ["impala_6t"] == pytest.approx(0.104, abs=0.005)
+
+
+class TestDeviceEnergy:
+    def _run(self, data):
+        machine = to_rate(compile_ruleset(["ab", "cd"]), 4)
+        device = SunderDevice(SunderConfig(rate_nibbles=4, report_bits=16,
+                                           fifo=False))
+        device.configure(machine)
+        vectors, limit = stream_for(machine, data)
+        device.run(vectors, position_limit=limit)
+        return device
+
+    def test_components_positive_after_run(self):
+        device = self._run(b"xxabxxcdxx" * 5)
+        report = device_energy(device)
+        assert report.matching_nj > 0
+        assert report.reporting_nj > 0
+        assert report.total_nj == pytest.approx(
+            report.matching_nj + report.interconnect_nj + report.reporting_nj
+        )
+
+    def test_energy_grows_with_input(self):
+        short = device_energy(self._run(b"xxabxx" * 2))
+        long = device_energy(self._run(b"xxabxx" * 20))
+        assert long.total_nj > short.total_nj
+
+    def test_per_byte_normalization(self):
+        device = self._run(b"xxabxxcdxx")
+        report = device_energy(device)
+        assert report.per_byte_pj(10) == pytest.approx(
+            report.total_nj * 100, rel=1e-6
+        )
+        assert report.per_byte_pj(0) == 0.0
+
+
+class TestAnalyticEnergy:
+    def test_matches_hand_computation(self):
+        report = analytic_energy(cycles=1000, pus=4, report_cycles=100)
+        per_access = ENERGY_PJ["sunder_8t"]
+        assert report.matching_nj == pytest.approx(1000 * 4 * per_access / 1000)
+        # 4 local switches + 1 global switch per cycle.
+        assert report.interconnect_nj == pytest.approx(
+            (1000 * 4 + 1000) * per_access / 1000
+        )
+        assert report.reporting_nj == pytest.approx(100 * per_access / 1000)
+
+    def test_reporting_energy_is_small_fraction(self):
+        # The architectural story in energy terms: reporting piggybacks on
+        # existing arrays and stays a tiny share of total energy.
+        report = analytic_energy(cycles=100_000, pus=40, report_cycles=3_240,
+                                 reports_drained_rows=500)
+        assert report.reporting_nj < 0.01 * report.total_nj

@@ -1,0 +1,157 @@
+"""Functional-engine tests: semantics, differential, and recorder."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import Automaton, StartKind, SymbolSet
+from repro.errors import SimulationError
+from repro.sim import BitsetEngine, NaiveEngine, ReportRecorder
+from conftest import random_automaton
+
+
+class TestSemantics:
+    def test_start_of_data_only_fires_at_cycle_zero(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]),
+                            start=StartKind.START_OF_DATA,
+                            report=True, report_code="s")
+        recorder = BitsetEngine(automaton).run([1, 1, 1])
+        assert recorder.positions() == [0]
+
+    def test_all_input_fires_every_cycle(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]),
+                            start=StartKind.ALL_INPUT,
+                            report=True, report_code="s")
+        recorder = BitsetEngine(automaton).run([1, 2, 1])
+        assert recorder.positions() == [0, 2]
+
+    def test_start_period_gates_all_input(self):
+        automaton = Automaton(bits=8, start_period=2)
+        automaton.new_state("s", SymbolSet.of(8, [1]),
+                            start=StartKind.ALL_INPUT,
+                            report=True, report_code="s")
+        recorder = BitsetEngine(automaton).run([1, 1, 1, 1])
+        assert recorder.positions() == [0, 2]
+
+    def test_transitions_require_match(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("a", SymbolSet.of(8, [1]), start="all-input")
+        automaton.new_state("b", SymbolSet.of(8, [2]), report=True,
+                            report_code="b")
+        automaton.add_transition("a", "b")
+        assert BitsetEngine(automaton).run([1, 2]).positions() == [1]
+        assert BitsetEngine(automaton).run([1, 3]).positions() == []
+        assert BitsetEngine(automaton).run([2, 2]).positions() == []
+
+    def test_vector_arity_positions(self):
+        automaton = Automaton(bits=4, arity=2)
+        automaton.new_state(
+            "s", (SymbolSet.of(4, [1]), SymbolSet.full(4)),
+            start="all-input", report=True, report_code="s",
+            report_offsets=(0,),
+        )
+        recorder = BitsetEngine(automaton).run([(1, 5), (2, 5), (1, 0)])
+        # Offset 0 within cycles 0 and 2 -> stream positions 0 and 4.
+        assert recorder.positions() == [0, 4]
+
+    def test_out_of_range_symbol_raises(self):
+        automaton = Automaton(bits=4)
+        automaton.new_state("s", SymbolSet.full(4), start="all-input")
+        with pytest.raises(SimulationError):
+            BitsetEngine(automaton).run([16])
+
+    def test_arity_mismatch_raises(self):
+        automaton = Automaton(bits=4, arity=2)
+        automaton.new_state("s", (SymbolSet.full(4),) * 2, start="all-input")
+        with pytest.raises(SimulationError):
+            BitsetEngine(automaton).run([(1,)])
+
+    def test_reset_between_runs(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]),
+                            start=StartKind.START_OF_DATA,
+                            report=True, report_code="s")
+        engine = BitsetEngine(automaton)
+        assert engine.run([1]).total_reports == 1
+        assert engine.run([2]).total_reports == 0
+        assert engine.run([1]).total_reports == 1
+
+    def test_active_ids_and_history(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]), start="all-input")
+        engine = BitsetEngine(automaton)
+        engine.run([1, 2, 1])
+        assert engine.active_count_history == [1, 0, 1]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_bitset_matches_naive(self, seed):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=9, bits=4,
+                                     edge_density=0.3)
+        if len(automaton) == 0:
+            return
+        bitset, naive = BitsetEngine(automaton), NaiveEngine(automaton)
+        for _ in range(5):
+            data = [rng.randrange(16) for _ in range(rng.randint(0, 25))]
+            r1, r2 = ReportRecorder(), ReportRecorder()
+            bitset.run(data, r1)
+            naive.run(data, r2)
+            assert r1.event_keys() == r2.event_keys()
+            assert bitset.active_ids() == naive.active_ids()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000), st.binary(max_size=24))
+    def test_bitset_matches_naive_hypothesis(self, seed, raw):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=7, bits=4,
+                                     edge_density=0.35)
+        if len(automaton) == 0:
+            return
+        data = [byte % 16 for byte in raw]
+        r1 = BitsetEngine(automaton).run(data)
+        r2 = NaiveEngine(automaton).run(data)
+        assert r1.event_keys() == r2.event_keys()
+
+
+class TestRecorder:
+    def test_position_limit_filters(self):
+        recorder = ReportRecorder(position_limit=5)
+        recorder.record(4, 4, "s", "c")
+        recorder.record(5, 5, "s", "c")
+        assert recorder.total_reports == 1
+        assert recorder.positions() == [4]
+
+    def test_summary_columns(self):
+        recorder = ReportRecorder()
+        recorder.record(0, 0, "a", "x")
+        recorder.record(0, 0, "b", "y")
+        recorder.record(3, 3, "a", "x")
+        summary = recorder.summary(10)
+        assert summary["reports"] == 3
+        assert summary["report_cycles"] == 2
+        assert summary["reports_per_report_cycle"] == 1.5
+        assert summary["report_cycle_pct"] == 20.0
+
+    def test_cycle_profile(self):
+        recorder = ReportRecorder()
+        recorder.record(1, 1, "a", "x")
+        recorder.record(1, 1, "b", "y")
+        assert recorder.cycle_profile(3) == [0, 2, 0]
+
+    def test_keep_events_false_keeps_aggregates(self):
+        recorder = ReportRecorder(keep_events=False)
+        recorder.record(0, 0, "a", "x")
+        assert recorder.total_reports == 1
+        assert recorder.events == []
+
+    def test_max_reports_in_a_cycle(self):
+        recorder = ReportRecorder()
+        assert recorder.max_reports_in_a_cycle() == 0
+        for _ in range(3):
+            recorder.record(7, 7, "a", "x")
+        assert recorder.max_reports_in_a_cycle() == 3

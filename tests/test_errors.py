@@ -1,0 +1,45 @@
+"""Error-hierarchy tests: one base class, informative messages."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("subclass", [
+        errors.AutomatonError,
+        errors.SymbolError,
+        errors.RegexError,
+        errors.TransformError,
+        errors.SimulationError,
+        errors.ArchitectureError,
+        errors.CapacityError,
+        errors.FormatError,
+        errors.WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_capacity_is_architecture_error(self):
+        assert issubclass(errors.CapacityError, errors.ArchitectureError)
+
+    def test_one_except_clause_catches_everything(self):
+        from repro.regex import compile_pattern
+        from repro.core import SunderConfig
+        for trigger in (
+            lambda: compile_pattern("(("),
+            lambda: SunderConfig(rate_nibbles=3),
+        ):
+            with pytest.raises(errors.ReproError):
+                trigger()
+
+
+class TestRegexErrorContext:
+    def test_carries_pattern_and_position(self):
+        error = errors.RegexError("boom", pattern="ab(", position=2)
+        assert error.pattern == "ab("
+        assert error.position == 2
+        assert "ab(" in str(error) and "position 2" in str(error)
+
+    def test_message_only(self):
+        assert str(errors.RegexError("boom")) == "boom"

@@ -1,0 +1,34 @@
+"""Smoke tests: the shipped examples must run and produce their output.
+
+Each example is executed as a subprocess (the way a user runs it); slow
+examples are exercised at reduced scope elsewhere (reproduce_paper is the
+benchmark harness in disguise).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+CASES = [
+    ("quickstart.py", ["http-admin-probe", "passwd-leak", "ssn-pattern"]),
+    ("pattern_mining.py", ["adf: FOUND", "xyz: absent", "Summarized"]),
+    ("snort_ids.py", ["sid:2001", "sid:2004", "Recommended rate"]),
+    ("anml_interop.py", ["ANML round trip", "True"]),
+    ("dna_motif_search.py", ["ACGTACGTAC", "16"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", CASES,
+                         ids=[case[0] for case in CASES])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in expected:
+        assert marker in result.stdout, (script, marker, result.stdout[-500:])

@@ -1,0 +1,135 @@
+"""Experiment-harness smoke tests: every table/figure runs and is sane.
+
+Heavier checks of the *values* live in the benchmark harness; here we
+verify each experiment executes at tiny scale, produces a complete set of
+rows, and honours the headline qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.workloads import BENCHMARK_NAMES
+
+FAST_NAMES = ["Bro217", "Snort", "TCP", "SPM"]
+SCALE = 0.002
+
+
+@pytest.fixture(scope="module")
+def table4_rows():
+    rows, averages = table4.run(scale=SCALE, seed=0, names=FAST_NAMES)
+    return rows, averages
+
+
+class TestTable1:
+    def test_rows_complete_and_sane(self):
+        rows = table1.run(scale=SCALE, names=FAST_NAMES)
+        assert [row["benchmark"] for row in rows] == FAST_NAMES
+        for row in rows:
+            assert row["states"] > 0
+            assert 0 <= row["report_cycle_pct"] <= 100
+        assert table1.render(rows)
+
+
+class TestTable2:
+    def test_runs(self):
+        rows, derived = table2.run()
+        assert len(rows) == 3
+        assert derived["area_ratio_8t_over_6t"] > 2.0
+        assert "Table 2" in table2.render(rows, derived)
+
+
+class TestTable3:
+    def test_overheads_sane(self):
+        rows, averages = table3.run(scale=SCALE, names=["Bro217", "TCP"])
+        for row in rows:
+            assert row["states_1"] > 1.0           # nibble chains cost states
+            assert 0.5 < row["states_2"] < 2.0     # 2-nibble ~ byte rate
+        assert "Average" in table3.render(rows, averages)
+
+
+class TestTable4:
+    def test_sunder_beats_ap_shape(self, table4_rows):
+        rows, averages = table4_rows
+        by_name = {row["benchmark"]: row for row in rows}
+        assert by_name["Snort"]["ap_overhead"] > 10
+        assert by_name["Snort"]["rad_overhead"] < by_name["Snort"]["ap_overhead"]
+        for row in rows:
+            assert row["sunder_overhead"] < 1.2
+            assert row["sunder_fifo_overhead"] <= row["sunder_overhead"] + 1e-9
+        assert averages["ap_overhead"] > averages["rad_overhead"]
+        assert table4.render(rows, averages)
+
+    def test_silent_benchmark_is_free_everywhere(self):
+        rows, _ = table4.run(scale=SCALE, names=["ClamAV"])
+        row = rows[0]
+        assert row["sunder_flushes"] == 0
+        assert row["ap_overhead"] == 1.0
+
+
+class TestTable5:
+    def test_matches_paper(self):
+        rows = table5.run()
+        for row in rows:
+            if row["paper_operating_ghz"]:
+                assert row["operating_frequency_ghz"] == pytest.approx(
+                    row["paper_operating_ghz"], rel=0.05
+                )
+
+
+class TestFigure8:
+    def test_speedup_shape(self, table4_rows):
+        rows, _ = table4_rows
+        figure_rows = figure8.run(table4_rows=rows)
+        by_name = {row["architecture"]: row for row in figure_rows}
+        assert by_name["AP (50nm)"]["sunder_speedup_ap"] > 50
+        assert by_name["Impala"]["sunder_speedup_ap"] > 1.0
+        assert figure8.render(figure_rows)
+
+
+class TestFigure9:
+    def test_sunder_smallest(self):
+        rows = figure9.run()
+        by_name = {row["architecture"]: row for row in rows}
+        for name in ("CA", "Impala", "AP"):
+            assert by_name[name]["total_mm2"] > by_name["Sunder"]["total_mm2"]
+        assert figure9.render(rows)
+
+
+class TestFigure10:
+    def test_anchors_and_monotonicity(self):
+        rows = figure10.run()
+        slowdowns = [row["slowdown"] for row in rows]
+        assert slowdowns == sorted(slowdowns)
+        worst = rows[-1]
+        assert worst["report_cycle_pct"] == 100
+        assert 6.0 <= worst["slowdown"] <= 8.0
+        assert worst["slowdown_summarized"] <= 1.6
+        assert figure10.render(rows)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5",
+            "figure8", "figure9", "figure10", "scorecard",
+        }
+
+    def test_scorecard_claims_structure(self):
+        from repro.experiments import scorecard
+        claims = scorecard.build_scorecard(scale=SCALE)
+        assert len(claims) >= 15
+        record = claims[0].as_dict()
+        assert set(record) == {"claim", "paper", "measured", "band",
+                               "verdict"}
+        assert scorecard.render(claims)
+        assert scorecard.to_json(claims).startswith("[")

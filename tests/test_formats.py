@@ -1,0 +1,127 @@
+"""ANML and MNRL serialization tests."""
+
+import pytest
+
+from repro.automata import Automaton, StartKind, SymbolSet, anml, mnrl, single_pattern
+from repro.errors import FormatError
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine
+from repro.transform import to_rate
+
+
+def _behavioral_equal(a, b, data):
+    """Equal report sets, with codes normalized to strings.
+
+    ANML serializes report codes as XML attribute text, so integer codes
+    come back as strings — an inherent property of the format.
+    """
+    def keys(machine):
+        recorder = BitsetEngine(machine).run(data)
+        return {(pos, str(code)) for pos, code in recorder.event_keys()}
+
+    return keys(a) == keys(b)
+
+
+class TestAnmlCharclass:
+    def test_star(self):
+        assert anml.parse_charclass("*").is_full()
+        assert anml.parse_charclass("[*]").is_full()
+
+    def test_ranges_and_escapes(self):
+        sset = anml.parse_charclass("[a-c\\x00\\n]")
+        assert sorted(sset) == [0, ord("\n"), ord("a"), ord("b"), ord("c")]
+
+    def test_negation(self):
+        sset = anml.parse_charclass("[^a]")
+        assert ord("a") not in sset and len(sset) == 255
+
+    def test_unbracketed_rejected(self):
+        with pytest.raises(FormatError):
+            anml.parse_charclass("abc")
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(FormatError):
+            anml.parse_charclass("[\\]")
+
+    def test_bad_hex_rejected(self):
+        with pytest.raises(FormatError):
+            anml.parse_charclass("[\\xZ]")
+
+
+class TestAnmlRoundtrip:
+    def test_roundtrip_preserves_behavior(self, small_ruleset):
+        text = anml.dumps(small_ruleset)
+        parsed = anml.loads(text)
+        data = list(b"abc123xyzhello b5d")
+        assert _behavioral_equal(small_ruleset, parsed, data)
+
+    def test_roundtrip_preserves_structure(self):
+        machine = single_pattern("p", b"ab", report_code="42")
+        parsed = anml.loads(anml.dumps(machine))
+        assert len(parsed) == 2
+        assert parsed.state("p_0").start is StartKind.ALL_INPUT
+        assert parsed.state("p_1").report_code == "42"
+
+    def test_strided_automaton_rejected(self, abc_automaton):
+        strided = to_rate(abc_automaton, 2)
+        with pytest.raises(FormatError):
+            anml.dumps(strided)
+
+    def test_missing_network_rejected(self):
+        with pytest.raises(FormatError):
+            anml.loads("<anml></anml>")
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(FormatError):
+            anml.loads("<not xml")
+
+    def test_file_roundtrip(self, tmp_path, abc_automaton):
+        path = tmp_path / "m.anml"
+        anml.dump(abc_automaton, str(path))
+        parsed = anml.load(str(path))
+        assert _behavioral_equal(abc_automaton, parsed, list(b"zabcz"))
+
+
+class TestMnrl:
+    def test_roundtrip_byte_automaton(self, small_ruleset):
+        parsed = mnrl.loads(mnrl.dumps(small_ruleset))
+        data = list(b"abc123xyz hello")
+        assert _behavioral_equal(small_ruleset, parsed, data)
+
+    def test_roundtrip_strided_automaton(self, abc_automaton):
+        strided = to_rate(abc_automaton, 4)
+        parsed = mnrl.loads(mnrl.dumps(strided))
+        assert parsed.arity == 4
+        assert parsed.bits == 4
+        assert parsed.start_period == strided.start_period
+        from repro.sim import stream_for
+        vectors, limit = stream_for(strided, b"xxabcabc")
+        assert (
+            BitsetEngine(strided).run(vectors, position_limit=limit).event_keys()
+            == BitsetEngine(parsed).run(vectors, position_limit=limit).event_keys()
+        )
+
+    def test_report_offsets_preserved(self, abc_automaton):
+        strided = to_rate(abc_automaton, 4)
+        parsed = mnrl.loads(mnrl.dumps(strided))
+        want = {s.id: s.report_offsets for s in strided if s.report}
+        got = {s.id: s.report_offsets for s in parsed if s.report}
+        assert want == got
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(FormatError):
+            mnrl.loads("{not json")
+
+    def test_missing_nodes_rejected(self):
+        with pytest.raises(FormatError):
+            mnrl.loads("{}")
+
+    def test_unknown_node_type_rejected(self):
+        with pytest.raises(FormatError):
+            mnrl.loads('{"nodes": [{"type": "upCounter", "id": "x"}]}')
+
+    def test_file_roundtrip(self, tmp_path, abc_automaton):
+        path = tmp_path / "m.mnrl"
+        mnrl.dump(abc_automaton, str(path))
+        parsed = mnrl.load(str(path))
+        assert _behavioral_equal(abc_automaton, parsed, list(b"zabcz"))

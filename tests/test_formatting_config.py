@@ -1,0 +1,73 @@
+"""Tests for table formatting and SunderConfig derived properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import SunderConfig
+from repro.errors import ArchitectureError
+from repro.experiments.formatting import format_table, ratio_string
+
+
+class TestFormatTable:
+    def test_alignment_and_missing_values(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 100}]
+        text = format_table(rows, [("a", "A"), ("b", "B")], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("A")
+        assert "2.50" in text
+        assert "-" in lines[-1]  # missing b renders as '-'
+
+    def test_empty_rows(self):
+        text = format_table([], [("a", "Column")])
+        assert "Column" in text
+
+    def test_custom_float_format(self):
+        text = format_table([{"x": 1.23456}], [("x", "X")],
+                            float_format="%.4f")
+        assert "1.2346" in text
+
+    def test_ratio_string(self):
+        assert ratio_string(1.5, 2.0) == "1.50 (paper 2.00)"
+        assert ratio_string(1.5, None) == "1.50"
+
+    def test_wide_values_stretch_columns(self):
+        rows = [{"name": "x" * 40}]
+        text = format_table(rows, [("name", "N")])
+        assert "x" * 40 in text
+
+
+class TestConfigProperties:
+    @given(st.sampled_from([1, 2, 4]),
+           st.integers(1, 64), st.integers(1, 64))
+    def test_derived_geometry_invariants(self, rate, m, n):
+        config = SunderConfig(rate_nibbles=rate, report_bits=m,
+                              metadata_bits=n)
+        # Rows always partition exactly into matching + reporting.
+        assert config.matching_rows + config.report_rows == 256
+        assert config.matching_rows == 16 * rate
+        # Entries never overflow a row.
+        assert config.entries_per_row * config.entry_bits <= 256
+        assert config.report_capacity == (
+            config.report_rows * config.entries_per_row
+        )
+        # Equation (1): the counter addresses every entry slot.
+        assert 2 ** config.local_counter_bits() >= config.report_capacity
+
+    def test_bits_per_cycle(self):
+        for rate, bits in ((1, 4), (2, 8), (4, 16)):
+            assert SunderConfig(rate_nibbles=rate).bits_per_cycle == bits
+
+    def test_repr_mentions_capacity(self):
+        assert "capacity" in repr(SunderConfig())
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rate_nibbles": 8},
+        {"report_bits": 0},
+        {"report_bits": 300},
+        {"metadata_bits": 0},
+        {"report_bits": 128, "metadata_bits": 129},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ArchitectureError):
+            SunderConfig(**kwargs)

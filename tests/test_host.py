@@ -1,0 +1,76 @@
+"""Host-interface tests: the Section 6 memory-mapped access model."""
+
+import numpy as np
+import pytest
+
+from repro.core import HostInterface, SunderConfig, SunderDevice
+from repro.core.host import ROW_BYTES, AddressMap
+from repro.errors import ArchitectureError
+from repro.regex import compile_ruleset
+from repro.sim import stream_for
+from repro.transform import to_rate
+
+
+@pytest.fixture
+def configured_device():
+    machine = compile_ruleset(["ab", "cd"])
+    strided = to_rate(machine, 4)
+    config = SunderConfig(rate_nibbles=4, report_bits=16, fifo=False)
+    device = SunderDevice(config)
+    device.configure(strided)
+    vectors, limit = stream_for(strided, b"xxabxxcdxx")
+    device.run(vectors, position_limit=limit)
+    return device
+
+
+class TestAddressMap:
+    def test_roundtrip(self, configured_device):
+        address_map = AddressMap(configured_device)
+        for coords in [(0, 0, 0), (0, 1, 7), (0, 3, 255)]:
+            assert address_map.locate(address_map.address_of(*coords)) == coords
+
+    def test_addresses_are_row_aligned_and_distinct(self, configured_device):
+        address_map = AddressMap(configured_device)
+        a = address_map.address_of(0, 0, 0)
+        b = address_map.address_of(0, 0, 1)
+        assert b - a == ROW_BYTES
+
+    def test_unaligned_address_rejected(self, configured_device):
+        address_map = AddressMap(configured_device)
+        with pytest.raises(ArchitectureError):
+            address_map.locate(address_map.base_address + 1)
+
+    def test_out_of_range_rejected(self, configured_device):
+        address_map = AddressMap(configured_device)
+        with pytest.raises(ArchitectureError):
+            address_map.address_of(5, 0, 0)
+
+
+class TestHostVerbs:
+    def test_load_reads_subarray_row(self, configured_device):
+        host = HostInterface(configured_device)
+        pu = configured_device.clusters[0].pus[0]
+        row = pu.reporting.first_row
+        address = host.address_map.address_of(0, 0, row)
+        assert (host.load_row(address) == pu.subarray.read_row(row)).all()
+
+    def test_store_writes_subarray_row(self, configured_device):
+        host = HostInterface(configured_device)
+        address = host.address_map.address_of(0, 0, 255)
+        pattern = np.arange(256) % 2 == 0
+        host.store_row(address, pattern)
+        pu = configured_device.clusters[0].pus[0]
+        assert (pu.subarray.read_row(255) == pattern).all()
+
+    def test_clflush_captures_used_report_rows(self, configured_device):
+        host = HostInterface(configured_device)
+        # The 'ab' and 'cd' reports landed in PU 0's region.
+        captured = host.clflush_report_region(0, 0)
+        assert captured == configured_device.clusters[0].pus[0].reporting.used_rows
+        assert captured >= 1
+        assert len(host.flushed_rows) == captured
+
+    def test_read_report_entries_selective(self, configured_device):
+        host = HostInterface(configured_device)
+        entries = host.read_report_entries(0, 0)
+        assert [entry.cycle for entry in entries] == [1, 3]

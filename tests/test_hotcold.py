@@ -1,0 +1,86 @@
+"""Hot/cold splitting extension tests (Liu et al. complementarity)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.extensions import profile_enabled_states, split_hot_cold
+from repro.extensions.hotcold import BOUNDARY_CODE_PREFIX
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine
+
+
+@pytest.fixture(scope="module")
+def ruleset():
+    # Rule 0 is hot (the input is full of 'ab...'); rules 1-2 are cold.
+    return compile_ruleset([
+        ("abcd", "hot-rule"),
+        ("zzzzzzzz", "cold-rule-1"),
+        ("yyyyyyyy", "cold-rule-2"),
+    ])
+
+
+SAMPLE = b"ab abc abcd xx abcd ab" * 4
+
+
+class TestProfiling:
+    def test_hot_states_dominate(self, ruleset):
+        profile = profile_enabled_states(ruleset, list(SAMPLE))
+        active_ids = set(profile)
+        # Only rule-0 interior states ever activate on this input.
+        codes = {
+            ruleset.state(state_id).report_code
+            for state_id in active_ids if ruleset.state(state_id).report
+        }
+        assert codes <= {"hot-rule"}
+        assert profile.most_common(1)[0][1] > 1
+
+    def test_silent_input_profiles_empty(self, ruleset):
+        assert profile_enabled_states(ruleset, list(b"qqqq")) == {}
+
+
+class TestSplit:
+    def test_split_shrinks_hardware(self, ruleset):
+        split = split_hot_cold(ruleset, list(SAMPLE), activity_coverage=0.95)
+        assert split.hardware_states < len(ruleset)
+        assert split.state_savings > 0.3
+        split.hot_automaton.validate()
+
+    def test_hot_half_preserves_hot_reports(self, ruleset):
+        split = split_hot_cold(ruleset, list(SAMPLE))
+        data = list(b"xx abcd yy abcd")
+        hot_keys = {
+            key for key in split.run(data).event_keys()
+            if not str(key[1]).startswith(BOUNDARY_CODE_PREFIX)
+        }
+        want = {
+            key for key in BitsetEngine(ruleset).run(data).event_keys()
+            if key[1] == "hot-rule"
+        }
+        assert hot_keys == want
+
+    def test_boundary_states_report_intermediates(self):
+        # A chain where profiling only sees the prefix: the boundary
+        # between hot prefix and cold suffix must emit boundary reports.
+        machine = compile_ruleset([("abcdefgh", "deep")])
+        sample = list(b"abcd abcd abc")  # never reaches the suffix
+        split = split_hot_cold(machine, sample, activity_coverage=1.0)
+        assert split.boundary_ids
+        recorder = split.run(list(b"abcde"))
+        codes = {str(code) for _, code in recorder.event_keys()}
+        assert any(code.startswith(BOUNDARY_CODE_PREFIX) for code in codes)
+
+    def test_intermediate_fraction(self):
+        machine = compile_ruleset([("abcdefgh", "deep")])
+        split = split_hot_cold(machine, list(b"abcd" * 5),
+                               activity_coverage=1.0)
+        fraction = split.intermediate_report_fraction(list(b"abcd" * 10))
+        assert fraction == 1.0  # the full pattern never completes
+
+    def test_coverage_validation(self, ruleset):
+        with pytest.raises(WorkloadError):
+            split_hot_cold(ruleset, list(SAMPLE), activity_coverage=0.0)
+
+    def test_full_coverage_keeps_active_states(self, ruleset):
+        split = split_hot_cold(ruleset, list(SAMPLE), activity_coverage=1.0)
+        profile = profile_enabled_states(ruleset, list(SAMPLE))
+        assert set(profile) <= split.hot_ids

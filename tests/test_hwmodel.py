@@ -1,0 +1,98 @@
+"""Technology-model tests: Tables 2 & 5 and the Figure 9 area model."""
+
+import pytest
+
+from repro.hwmodel import (
+    CA_PIPELINE,
+    IMPALA_PIPELINE,
+    SUNDER_8T,
+    SUNDER_PIPELINE,
+    ap_frequency_ghz,
+    ca_area_um2,
+    figure9_breakdown,
+    impala_area_um2,
+    project_frequency,
+    sunder_area_um2,
+    table2_rows,
+    table5_rows,
+)
+
+
+class TestTable2:
+    def test_published_values(self):
+        rows = {row["usage"]: row for row in table2_rows()}
+        assert rows["state-matching (Impala)"]["delay_ps"] == 180
+        assert rows["state-matching (CA)"]["area_um2"] == 9394
+        assert SUNDER_8T.delay_ps == 150 and SUNDER_8T.area_um2 == 20102
+
+    def test_derived_density(self):
+        assert SUNDER_8T.bits == 256 * 256
+        assert SUNDER_8T.area_per_bit_um2 == pytest.approx(0.3067, abs=1e-3)
+
+
+class TestTable5:
+    def test_operating_frequencies_match_paper(self):
+        assert SUNDER_PIPELINE.operating_frequency_ghz == pytest.approx(3.6, abs=0.05)
+        assert IMPALA_PIPELINE.operating_frequency_ghz == pytest.approx(5.0, abs=0.05)
+        assert CA_PIPELINE.operating_frequency_ghz == pytest.approx(3.6, abs=0.05)
+
+    def test_critical_paths(self):
+        assert SUNDER_PIPELINE.critical_path_ps == 249
+        assert IMPALA_PIPELINE.critical_path_ps == 180
+        assert CA_PIPELINE.critical_path_ps == 249
+
+    def test_ap_projection(self):
+        assert ap_frequency_ghz(50) == 0.133
+        assert ap_frequency_ghz(14) == pytest.approx(1.69, abs=0.02)
+
+    def test_projection_is_quadratic(self):
+        assert project_frequency(1.0, 28, 14) == pytest.approx(4.0)
+
+    def test_table5_rows_complete(self):
+        rows = table5_rows()
+        assert len(rows) == 5
+        assert all("operating_frequency_ghz" in row for row in rows)
+
+
+class TestFigure9Area:
+    def test_sunder_reporting_is_two_percent(self):
+        parts = sunder_area_um2(32768)
+        assert parts["reporting"] / parts["matching"] == pytest.approx(0.02)
+
+    def test_area_scales_with_states(self):
+        small = sum(sunder_area_um2(1024).values())
+        large = sum(sunder_area_um2(32768).values())
+        assert large > small * 20
+
+    def test_breakdown_ordering_matches_paper(self):
+        rows = {row["architecture"]: row for row in figure9_breakdown()}
+        assert rows["Sunder"]["ratio_to_sunder"] == 1.0
+        # Paper ordering: AP > Impala, CA > Sunder.
+        assert rows["AP"]["ratio_to_sunder"] == pytest.approx(2.1)
+        assert rows["Impala"]["ratio_to_sunder"] > 1.0
+        assert rows["CA"]["ratio_to_sunder"] > 1.0
+
+    def test_baselines_pay_for_ap_reporting(self):
+        ca = ca_area_um2(32768)
+        impala = impala_area_um2(32768)
+        sunder = sunder_area_um2(32768)
+        assert ca["reporting"] > 10 * sunder["reporting"]
+        assert impala["reporting"] > 10 * sunder["reporting"]
+
+
+class TestThroughputPerArea:
+    def test_three_orders_of_magnitude_vs_ap(self):
+        from repro.hwmodel import throughput_per_area
+        rows = {row["architecture"]: row for row in throughput_per_area()}
+        # The conclusion's headline: ~1000x throughput/area vs the AP.
+        assert 500 < rows["AP (50nm silicon)"]["sunder_density_ratio"] < 3000
+        # Sunder also leads the SRAM designs on density.
+        assert rows["Impala"]["sunder_density_ratio"] > 1.0
+        assert rows["CA"]["sunder_density_ratio"] > 1.0
+
+    def test_density_is_throughput_over_area(self):
+        from repro.hwmodel import throughput_per_area
+        for row in throughput_per_area():
+            assert row["gbps_per_mm2"] == pytest.approx(
+                row["gbps"] / row["area_mm2"]
+            )

@@ -1,0 +1,75 @@
+"""Input-stream conversion tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim import (
+    bytes_to_nibbles,
+    nibble_position_to_byte,
+    nibbles_to_bytes,
+    stream_for,
+    vectorize,
+)
+
+
+class TestNibbleConversion:
+    def test_high_nibble_first(self):
+        assert bytes_to_nibbles(b"\xAB") == [0xA, 0xB]
+
+    @given(st.binary(max_size=64))
+    def test_roundtrip(self, data):
+        assert nibbles_to_bytes(bytes_to_nibbles(data)) == data
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(SimulationError):
+            nibbles_to_bytes([1, 2, 3])
+
+    def test_out_of_range_byte_rejected(self):
+        with pytest.raises(SimulationError):
+            bytes_to_nibbles([300])
+
+
+class TestVectorize:
+    def test_exact_multiple(self):
+        vectors, length = vectorize([1, 2, 3, 4], 2)
+        assert vectors == [(1, 2), (3, 4)]
+        assert length == 4
+
+    def test_padding(self):
+        vectors, length = vectorize([1, 2, 3], 2, pad=0)
+        assert vectors == [(1, 2), (3, 0)]
+        assert length == 3
+
+    def test_empty(self):
+        vectors, length = vectorize([], 4)
+        assert vectors == [] and length == 0
+
+    @given(st.lists(st.integers(0, 15), max_size=40), st.integers(1, 4))
+    def test_flattening_recovers_prefix(self, symbols, arity):
+        vectors, length = vectorize(symbols, arity)
+        flat = [value for vector in vectors for value in vector]
+        assert flat[:length] == symbols
+        assert len(flat) % arity == 0
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(SimulationError):
+            vectorize([1], 0)
+
+
+class TestStreamFor:
+    def test_byte_automaton(self, abc_automaton):
+        vectors, limit = stream_for(abc_automaton, b"ab")
+        assert vectors == [(ord("a"),), (ord("b"),)]
+        assert limit == 2
+
+    def test_nibble_automaton(self, abc_automaton):
+        from repro.transform import to_rate
+        strided = to_rate(abc_automaton, 4)
+        vectors, limit = stream_for(strided, b"abc")
+        assert limit == 6  # nibbles
+        assert len(vectors) == 2  # ceil(6/4)
+        assert all(len(v) == 4 for v in vectors)
+
+    def test_position_mapping(self):
+        assert nibble_position_to_byte(7) == 3

@@ -1,0 +1,135 @@
+"""End-to-end integration tests across the whole stack.
+
+These tie everything together: regex semantics (checked against Python's
+`re`), the transformation pipeline, the bit-faithful device, the host
+interface, and the workload/experiment layers.
+"""
+
+import random
+import re
+
+import pytest
+
+from repro.core import HostInterface, SunderConfig, SunderDevice
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, stream_for
+from repro.transform import to_rate
+from repro.workloads import generate
+
+
+def _re_match_ends(pattern, data):
+    """All match-end byte offsets of ``pattern`` in ``data`` (unanchored)."""
+    rx = re.compile(pattern.encode())
+    ends = set()
+    for start in range(len(data)):
+        for end in range(start, len(data)):
+            if rx.fullmatch(data, start, end + 1):
+                ends.add(end)
+    return ends
+
+
+class TestRegexToHardware:
+    """regex text -> Glushkov -> nibbles -> strided -> subarrays -> reports."""
+
+    PATTERNS = ["ab+c", "x[0-9]{2}y", "foo|bars", "q.z"]
+
+    @pytest.mark.parametrize("rate", [1, 2, 4])
+    def test_device_reports_equal_re_semantics(self, rate):
+        rng = random.Random(42 + rate)
+        ruleset = compile_ruleset(self.PATTERNS)
+        machine = to_rate(ruleset, rate)
+        device = SunderDevice(SunderConfig(rate_nibbles=rate, report_bits=16))
+        device.configure(machine)
+
+        data = bytes(rng.choice(b"abcfoxyzrs0123 q")
+                     for _ in range(150)) + b"ab0bc x42y foo q.z"
+        vectors, limit = stream_for(machine, data)
+        result = device.run(vectors, position_limit=limit)
+
+        got = {}
+        for event in result.reports().events:
+            got.setdefault(event.report_code, set()).add(event.position // 2)
+        for index, pattern in enumerate(self.PATTERNS):
+            assert got.get(index, set()) == _re_match_ends(pattern, data), pattern
+
+
+class TestHostReadback:
+    """The host reads its reports back through the address map."""
+
+    def test_clflush_then_decode(self):
+        ruleset = compile_ruleset([("needle", "N")])
+        machine = to_rate(ruleset, 4)
+        device = SunderDevice(SunderConfig(rate_nibbles=4, report_bits=16,
+                                           fifo=False))
+        device.configure(machine)
+        data = b"hay needle hay needle hay"
+        vectors, limit = stream_for(machine, data)
+        device.run(vectors, position_limit=limit)
+
+        host = HostInterface(device)
+        entries = []
+        for cluster_index, pu_index, pu in device.iter_pus():
+            if pu.reporting.count:
+                entries.extend(host.read_report_entries(cluster_index, pu_index))
+                assert host.clflush_report_region(cluster_index, pu_index) > 0
+        cycles = sorted(entry.cycle for entry in entries)
+        # 'needle' ends at bytes 9 and 20 -> vector cycles 4 and 10.
+        assert cycles == [4, 10]
+
+
+class TestWorkloadOnDevice:
+    """A generated benchmark runs bit-faithfully end to end."""
+
+    @pytest.mark.parametrize("name", ["Bro217", "ExactMatch"])
+    def test_workload_reports_match_engine(self, name):
+        instance = generate(name, scale=0.0005, seed=1)
+        machine = to_rate(instance.automaton, 4)
+        config = SunderConfig(rate_nibbles=4, report_bits=32)
+        device = SunderDevice(config)
+        device.configure(machine)
+        vectors, limit = stream_for(machine, instance.input_bytes)
+        result = device.run(vectors, position_limit=limit)
+        want = BitsetEngine(machine).run(
+            vectors, position_limit=limit
+        ).event_keys()
+        assert result.reports().event_keys() == want
+
+
+class TestComposedExtensions:
+    """Hot/cold splitting composed with the transformation + device."""
+
+    def test_split_automaton_runs_on_device(self):
+        from repro.extensions import split_hot_cold
+        ruleset = compile_ruleset([("abcdefgh", "deep"), ("ab", "shallow")])
+        sample = list(b"ababab abc ab")
+        split = split_hot_cold(ruleset, sample, activity_coverage=1.0)
+        machine = to_rate(split.hot_automaton, 2)
+        device = SunderDevice(SunderConfig(rate_nibbles=2, report_bits=16))
+        device.configure(machine)
+        data = b"xx ab abcde xx"
+        vectors, limit = stream_for(machine, data)
+        result = device.run(vectors, position_limit=limit)
+        want = BitsetEngine(machine).run(
+            vectors, position_limit=limit
+        ).event_keys()
+        assert result.reports().event_keys() == want
+        codes = {str(code) for _, code in want}
+        assert "shallow" in codes  # original hot report survives
+
+
+class TestFormatsThroughPipeline:
+    """MNRL roundtrip composes with striding and execution."""
+
+    def test_mnrl_persisted_strided_machine(self, tmp_path):
+        from repro.automata import mnrl
+        ruleset = compile_ruleset([("cafe", "C"), ("f00d", "F")])
+        machine = to_rate(ruleset, 4)
+        path = tmp_path / "machine.mnrl"
+        mnrl.dump(machine, str(path))
+        reloaded = mnrl.load(str(path))
+
+        data = b"cafe f00d cafe"
+        vectors, limit = stream_for(machine, data)
+        want = BitsetEngine(machine).run(vectors, position_limit=limit)
+        got = BitsetEngine(reloaded).run(vectors, position_limit=limit)
+        assert want.event_keys() == got.event_keys()

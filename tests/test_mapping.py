@@ -1,0 +1,105 @@
+"""Placement tests: capacity rules and reporting-column discipline."""
+
+import pytest
+
+from repro.automata import Automaton, SymbolSet
+from repro.core import SunderConfig, place
+from repro.core.config import PUS_PER_CLUSTER
+from repro.errors import ArchitectureError, CapacityError
+from repro.regex import compile_ruleset
+from repro.transform import to_rate
+
+
+def _nibble_chain(name, length, report_last=True):
+    automaton = Automaton(name=name, bits=4, arity=1, start_period=2)
+    previous = None
+    for index in range(length):
+        state_id = "%s%d" % (name, index)
+        automaton.new_state(
+            state_id, SymbolSet.of(4, [index % 16]),
+            start="all-input" if index == 0 else "none",
+            report=report_last and index == length - 1,
+            report_code=name if report_last and index == length - 1 else None,
+        )
+        if previous:
+            automaton.add_transition(previous, state_id)
+        previous = state_id
+    return automaton
+
+
+class TestPlacement:
+    def test_report_states_get_reporting_columns(self):
+        config = SunderConfig(rate_nibbles=1, report_bits=12)
+        automaton = _nibble_chain("a", 10)
+        placement = place(automaton, config)
+        base = config.subarray_cols - config.report_bits
+        for state in automaton:
+            slot = placement.slot_of(state.id)
+            if state.report:
+                assert slot.column >= base
+            else:
+                assert slot.column < base
+
+    def test_all_states_placed_uniquely(self, small_ruleset):
+        strided = to_rate(small_ruleset, 4)
+        config = SunderConfig(rate_nibbles=4)
+        placement = place(strided, config)
+        slots = [
+            (s.cluster, s.pu, s.column) for s in placement.slots.values()
+        ]
+        assert len(slots) == len(set(slots)) == len(strided)
+
+    def test_arity_mismatch_rejected(self, small_ruleset):
+        config = SunderConfig(rate_nibbles=4)
+        with pytest.raises(ArchitectureError):
+            place(to_rate(small_ruleset, 2), config)
+
+    def test_component_spanning_multiple_pus(self):
+        config = SunderConfig(rate_nibbles=1, report_bits=12)
+        automaton = _nibble_chain("big", 400)
+        placement = place(automaton, config)
+        assert len(placement.pus_used()) >= 2
+        assert placement.clusters_used == 1
+
+    def test_component_too_big_for_cluster_rejected(self):
+        config = SunderConfig(rate_nibbles=1, report_bits=12)
+        limit = PUS_PER_CLUSTER * (config.subarray_cols - config.report_bits)
+        # limit+2 states = limit+1 normal states (one is the reporter).
+        automaton = _nibble_chain("huge", limit + 2)
+        with pytest.raises(CapacityError):
+            place(automaton, config)
+
+    def test_report_column_budget_enforced(self):
+        config = SunderConfig(rate_nibbles=1, report_bits=2)
+        # One component with more reporting states than the cluster holds.
+        automaton = Automaton(bits=4, arity=1, start_period=2)
+        automaton.new_state("hub", SymbolSet.full(4), start="all-input")
+        for index in range(PUS_PER_CLUSTER * 2 + 1):
+            state_id = "r%d" % index
+            automaton.new_state(state_id, SymbolSet.full(4), report=True,
+                                report_code=state_id)
+            automaton.add_transition("hub", state_id)
+        with pytest.raises(CapacityError):
+            place(automaton, config)
+
+    def test_max_clusters_limit(self):
+        config = SunderConfig(rate_nibbles=1, report_bits=12)
+        chains = [_nibble_chain("c%d" % i, 300) for i in range(8)]
+        from repro.automata import union
+        machine = union(chains, bits=4)
+        machine.start_period = 2
+        with pytest.raises(CapacityError):
+            place(machine, config, max_clusters=1)
+
+    def test_summary(self):
+        config = SunderConfig(rate_nibbles=1)
+        placement = place(_nibble_chain("a", 5), config)
+        summary = placement.summary()
+        assert summary["states"] == 5
+        assert summary["clusters"] == 1
+
+    def test_unplaced_state_lookup_fails(self):
+        config = SunderConfig(rate_nibbles=1)
+        placement = place(_nibble_chain("a", 3), config)
+        with pytest.raises(ArchitectureError):
+            placement.slot_of("ghost")

@@ -1,0 +1,91 @@
+"""Match-array tests: one-hot complement storage and multi-row matching."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import Ste, SymbolSet
+from repro.core import MatchArray, SramSubarray, SunderConfig
+from repro.core.match_array import match_vector_reference
+from repro.errors import ArchitectureError, CapacityError
+
+
+def _states(rng, count, rate):
+    states = []
+    for index in range(count):
+        symbols = tuple(
+            SymbolSet.of(4, rng.sample(range(16), rng.randint(1, 16)))
+            for _ in range(rate)
+        )
+        states.append(Ste("q%d" % index, symbols))
+    return states
+
+
+@pytest.mark.parametrize("rate", [1, 2, 4])
+class TestMatching:
+    def test_matches_reference_oracle(self, rate):
+        rng = random.Random(rate)
+        subarray = SramSubarray(256, 256)
+        array = MatchArray(subarray, rate)
+        states = _states(rng, 40, rate)
+        for column, state in enumerate(states):
+            array.configure_state(column, state.symbols)
+        for _ in range(50):
+            vector = tuple(rng.randrange(16) for _ in range(rate))
+            got = array.match(vector)[:40]
+            want = match_vector_reference(states, vector)
+            assert (got == want).all(), vector
+
+    def test_unconfigured_columns_never_match(self, rate):
+        array = MatchArray(SramSubarray(256, 256), rate)
+        vector = tuple(0 for _ in range(rate))
+        assert not array.match(vector).any()
+
+    def test_row_layout(self, rate):
+        array = MatchArray(SramSubarray(256, 256), rate)
+        assert array.matching_rows == 16 * rate
+        assert array.row_of(rate - 1, 15) == 16 * rate - 1
+
+
+class TestConfiguration:
+    def test_arity_mismatch_rejected(self):
+        array = MatchArray(SramSubarray(256, 256), 2)
+        with pytest.raises(ArchitectureError):
+            array.configure_state(0, (SymbolSet.full(4),))
+
+    def test_byte_symbols_rejected(self):
+        array = MatchArray(SramSubarray(256, 256), 1)
+        with pytest.raises(ArchitectureError):
+            array.configure_state(0, (SymbolSet.full(8),))
+
+    def test_column_bounds(self):
+        array = MatchArray(SramSubarray(256, 256), 1)
+        with pytest.raises(CapacityError):
+            array.configure_state(256, (SymbolSet.full(4),))
+
+    def test_clear_column(self):
+        array = MatchArray(SramSubarray(256, 256), 1)
+        array.configure_state(5, (SymbolSet.full(4),))
+        assert array.match((3,))[5]
+        array.clear_column(5)
+        assert not array.match((3,))[5]
+
+    def test_reconfigure_overwrites(self):
+        array = MatchArray(SramSubarray(256, 256), 1)
+        array.configure_state(0, (SymbolSet.of(4, [1]),))
+        array.configure_state(0, (SymbolSet.of(4, [2]),))
+        assert not array.match((1,))[0]
+        assert array.match((2,))[0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(1, 0xFFFF), min_size=1, max_size=8),
+           st.integers(0, 15))
+    def test_single_nibble_property(self, masks, value):
+        array = MatchArray(SramSubarray(256, 256), 1)
+        sets = [SymbolSet(4, mask) for mask in masks]
+        for column, sset in enumerate(sets):
+            array.configure_state(column, (sset,))
+        result = array.match((value,))
+        for column, sset in enumerate(sets):
+            assert result[column] == (value in sset)

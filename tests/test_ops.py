@@ -1,0 +1,116 @@
+"""Tests for graph operations, especially language-preserving merging."""
+
+import random
+
+import pytest
+
+from repro.automata import (
+    Automaton,
+    SymbolSet,
+    connected_components,
+    degree_statistics,
+    minimize,
+    single_pattern,
+    union,
+)
+from repro.automata.ops import longest_simple_path_bound, reachable_from
+from repro.sim import BitsetEngine
+from conftest import random_automaton
+
+
+class TestComponents:
+    def test_two_patterns_two_components(self):
+        machine = union([single_pattern("a", b"xy"), single_pattern("b", b"pq")])
+        components = connected_components(machine)
+        assert len(components) == 2
+        assert sorted(len(c) for c in components) == [2, 2]
+
+    def test_single_component_when_connected(self):
+        machine = single_pattern("a", b"abcd")
+        assert len(connected_components(machine)) == 1
+
+    def test_largest_component_first(self):
+        machine = union([single_pattern("a", b"ab"), single_pattern("b", b"pqrst")])
+        components = connected_components(machine)
+        assert len(components[0]) == 5
+
+
+class TestDegreeStatistics:
+    def test_chain_degrees(self):
+        machine = single_pattern("a", b"abc")
+        stats = degree_statistics(machine)
+        assert stats["max_fan_out"] == 1
+        assert stats["max_fan_in"] == 1
+
+    def test_empty_automaton(self):
+        stats = degree_statistics(Automaton())
+        assert stats["max_fan_in"] == 0
+
+
+class TestMinimize:
+    def test_merges_identical_branches(self):
+        # Two identical chains from the same start should collapse.
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]), start="all-input")
+        for branch in ("x", "y"):
+            automaton.new_state(branch + "1", SymbolSet.of(8, [2]))
+            automaton.new_state(branch + "2", SymbolSet.of(8, [3]),
+                                report=True, report_code="r")
+            automaton.add_transition("s", branch + "1")
+            automaton.add_transition(branch + "1", branch + "2")
+        removed = minimize(automaton)
+        assert removed == 2
+        assert len(automaton) == 3
+
+    def test_does_not_merge_different_reports(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]), start="all-input")
+        automaton.new_state("a", SymbolSet.of(8, [2]), report=True,
+                            report_code="ra")
+        automaton.new_state("b", SymbolSet.of(8, [2]), report=True,
+                            report_code="rb")
+        automaton.add_transition("s", "a")
+        automaton.add_transition("s", "b")
+        assert minimize(automaton) == 0
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_minimize_preserves_language(self, seed):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=10, bits=4,
+                                     edge_density=0.3)
+        if len(automaton) == 0:
+            return
+        reference = automaton.copy()
+        minimize(automaton)
+        automaton.validate()
+        for trial in range(10):
+            data = [rng.randrange(16) for _ in range(rng.randint(0, 30))]
+            got = BitsetEngine(automaton).run(data).event_keys()
+            want = BitsetEngine(reference).run(data).event_keys()
+            # Keys are (position, report_code): state ids may merge, the
+            # observable reports may not change.
+            assert got == want, (seed, trial, data)
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        machine = single_pattern("a", b"abc")
+        assert reachable_from(machine, ["a_0"]) == {"a_0", "a_1", "a_2"}
+        assert reachable_from(machine, ["a_2"]) == {"a_2"}
+
+    def test_depth_bound(self):
+        machine = single_pattern("a", b"abcde")
+        assert longest_simple_path_bound(machine) == 5
+
+
+class TestUnion:
+    def test_union_preserves_both_languages(self):
+        a = single_pattern("a", b"xy", report_code="A")
+        b = single_pattern("b", b"zz", report_code="B")
+        machine = union([a, b])
+        recorder = BitsetEngine(machine).run(list(b"xyzz"))
+        assert {code for _, code in recorder.event_keys()} == {"A", "B"}
+
+    def test_union_requires_input(self):
+        with pytest.raises(ValueError):
+            union([])

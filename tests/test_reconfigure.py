@@ -1,0 +1,94 @@
+"""Multi-round reconfiguration tests."""
+
+import pytest
+
+from repro.core import (
+    SunderConfig,
+    configuration_write_cycles,
+    partition_rounds,
+    place,
+    run_multi_round,
+)
+from repro.errors import CapacityError
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, stream_for
+from repro.transform import to_rate
+
+
+def _big_ruleset(n_rules):
+    return compile_ruleset(
+        ["r%03d[a-f]{6}" % index for index in range(n_rules)]
+    )
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return to_rate(_big_ruleset(40), 1)
+
+
+class TestPartition:
+    def test_single_round_when_it_fits(self, machine):
+        config = SunderConfig(rate_nibbles=1, report_bits=64)
+        rounds = partition_rounds(machine, config, max_clusters=8)
+        assert len(rounds) == 1
+        assert len(rounds[0]) == len(machine)
+
+    def test_splits_when_capacity_limited(self, machine):
+        # report_bits=4 -> 16 reporting columns per cluster; 40 rules need
+        # 40 reporting columns -> at least 3 rounds on a 1-cluster device.
+        config = SunderConfig(rate_nibbles=1, report_bits=4)
+        rounds = partition_rounds(machine, config, max_clusters=1)
+        assert len(rounds) >= 3
+        assert sum(len(r) for r in rounds) == len(machine)
+        for machine_round in rounds:
+            place(machine_round, config, max_clusters=1)  # must not raise
+
+    def test_oversized_component_rejected(self):
+        from repro.automata import Automaton, SymbolSet
+        config = SunderConfig(rate_nibbles=1, report_bits=12)
+        automaton = Automaton(bits=4, arity=1, start_period=2)
+        previous = None
+        for index in range(1200):
+            state_id = "s%d" % index
+            automaton.new_state(
+                state_id, SymbolSet.full(4),
+                start="all-input" if index == 0 else "none",
+                report=index == 1199, report_code="end" if index == 1199 else None,
+            )
+            if previous:
+                automaton.add_transition(previous, state_id)
+            previous = state_id
+        with pytest.raises(CapacityError):
+            partition_rounds(automaton, config, max_clusters=4)
+
+
+class TestExecution:
+    def test_reports_match_single_round(self, machine):
+        config = SunderConfig(rate_nibbles=1, report_bits=4)
+        data = b"xx r007abcdef yy r023fedcba r001aaaaaa"
+        vectors, limit = stream_for(machine, data)
+        result = run_multi_round(machine, vectors, config, max_clusters=1,
+                                 position_limit=limit)
+        want = BitsetEngine(machine).run(vectors,
+                                         position_limit=limit).event_keys()
+        assert result.recorder.event_keys() == want
+        assert result.rounds >= 3
+
+    def test_cost_accounting(self, machine):
+        config = SunderConfig(rate_nibbles=1, report_bits=4)
+        vectors, limit = stream_for(machine, b"hello r000abcdef")
+        result = run_multi_round(machine, vectors, config, max_clusters=1,
+                                 position_limit=limit)
+        assert result.total_cycles >= result.rounds * result.stream_cycles
+        assert result.configure_cycles > 0
+        assert result.slowdown_vs_single_round > result.rounds - 1
+
+
+class TestConfigurationCost:
+    def test_scales_with_pus(self, machine):
+        config = SunderConfig(rate_nibbles=1, report_bits=64)
+        placement = place(machine, config)
+        cost = configuration_write_cycles(placement, config)
+        # At minimum: matching rows + crossbar rows per used PU.
+        pus = len(placement.pus_used())
+        assert cost >= pus * (config.matching_rows + config.subarray_cols)

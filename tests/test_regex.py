@@ -1,0 +1,176 @@
+"""Regex parser/compiler tests, including differential tests vs `re`."""
+
+import random
+import re
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RegexError
+from repro.regex import compile_pattern, compile_ruleset, find_match_ends, parse
+
+
+def reference_match_ends(pattern, data, anchored=False):
+    """All end indices of matches, via Python's re on every (start, end)."""
+    body = pattern[1:] if anchored else pattern
+    rx = re.compile(body.encode())
+    ends = set()
+    starts = [0] if anchored else range(len(data))
+    for start in starts:
+        for end in range(start, len(data)):
+            if rx.fullmatch(data, start, end + 1):
+                ends.add(end)
+    return sorted(ends)
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize("pattern", [
+        "a**?", "a(b", "a)b", "[z-a]", "[]", "a{3,1}", "a|*", "(?=x)y",
+        "\\1", "\\q", "a$", "a{,}", "[a", "\\x0",
+    ])
+    def test_rejected_patterns(self, pattern):
+        with pytest.raises(RegexError):
+            compile_pattern(pattern)
+
+    def test_empty_language_rejected(self):
+        with pytest.raises(RegexError):
+            compile_pattern("a*")
+
+    def test_error_carries_position(self):
+        try:
+            compile_pattern("ab(")
+        except RegexError as error:
+            assert error.pattern == "ab("
+        else:
+            pytest.fail("expected RegexError")
+
+
+class TestParserFeatures:
+    def test_anchoring_flag(self):
+        _, anchored = parse("^abc")
+        assert anchored
+        _, unanchored = parse("abc")
+        assert not unanchored
+
+    def test_class_escapes(self):
+        assert find_match_ends("\\d\\d", b"a42b") == [2]
+        assert find_match_ends("\\w+", b"_a ") == [0, 1]
+        assert find_match_ends("[\\d]", b"5") == [0]
+
+    def test_negated_class(self):
+        assert find_match_ends("[^a]", b"ab") == [1]
+
+    def test_hex_escape(self):
+        assert find_match_ends("\\x41", b"A") == [0]
+
+    def test_dot_matches_any_byte(self):
+        assert find_match_ends("a.c", bytes([ord("a"), 0, ord("c")])) == [2]
+
+    def test_ignore_case(self):
+        assert find_match_ends("abc", b"ABC", ignore_case=True) == [2]
+        assert find_match_ends("[a-c]+", b"AB", ignore_case=True) == [0, 1]
+
+    def test_bounded_repetition(self):
+        assert find_match_ends("a{3}", b"aaaa") == [2, 3]
+        assert find_match_ends("a{2,}b", b"aaab") == [3]
+
+    def test_non_capturing_group(self):
+        assert find_match_ends("(?:ab)+", b"abab") == [1, 3]
+
+
+class TestCompilerVsRe:
+    PATTERNS = [
+        "abc", "a(b|c)d", "ab*c", "a.c", "[a-c]{2,4}x", "foo|bar+",
+        "^start", "a+b+", "(ab)+c", "x\\d\\dz", "a(bc|de)*f", "[^xy]{2}q",
+        "colou?r", "(a|b)(c|d)", "zz|z\\.z",
+    ]
+
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_against_re(self, pattern):
+        rng = random.Random(hash(pattern) & 0xFFFF)
+        alphabet = b"abcdefxyz.01 qrstz"
+        for _ in range(25):
+            data = bytes(rng.choice(alphabet) for _ in range(rng.randint(0, 25)))
+            got = find_match_ends(pattern, data)
+            want = reference_match_ends(
+                pattern, data, anchored=pattern.startswith("^")
+            )
+            assert got == want, (pattern, data)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(
+        st.sampled_from(["a", "b", "c", "a|b", "[ab]", "a*", "b+", "c?", "."]),
+        min_size=1, max_size=5,
+    ), st.binary(max_size=16))
+    def test_fuzzed_concatenations(self, pieces, raw):
+        pattern = "".join(pieces)
+        data = bytes(byte % 4 + ord("a") for byte in raw)
+        try:
+            got = find_match_ends(pattern, data)
+        except RegexError:
+            # Pattern accepts the empty string (e.g. "a*"); correctly rejected.
+            assert re.fullmatch(pattern, "") is not None
+            return
+        want = reference_match_ends(pattern, data)
+        assert got == want, (pattern, data)
+
+
+class TestHomogeneity:
+    def test_glushkov_produces_homogeneous_nfa(self):
+        automaton = compile_pattern("a(b|c)+d")
+        automaton.validate()
+        # Homogeneous: every state has exactly one symbol set.
+        for state in automaton:
+            assert state.arity == 1
+
+    def test_report_code_default_is_pattern(self):
+        automaton = compile_pattern("ab")
+        assert automaton.report_states()[0].report_code == "ab"
+
+    def test_anchored_patterns_use_start_of_data(self):
+        from repro.automata import StartKind
+        automaton = compile_pattern("^ab")
+        kinds = {s.start for s in automaton.start_states()}
+        assert kinds == {StartKind.START_OF_DATA}
+
+
+class TestRuleset:
+    def test_report_codes_identify_rules(self, small_ruleset):
+        from repro.sim import BitsetEngine
+        recorder = BitsetEngine(small_ruleset).run(list(b"abc then xyz then 123"))
+        codes = {code for _, code in recorder.event_keys()}
+        assert codes == {0, 2, 3}
+
+    def test_pairs_give_custom_codes(self):
+        machine = compile_ruleset([("ab", "alpha"), ("cd", "beta")])
+        codes = {s.report_code for s in machine.report_states()}
+        assert codes == {"alpha", "beta"}
+
+    def test_empty_ruleset_rejected(self):
+        with pytest.raises(RegexError):
+            compile_ruleset([])
+
+
+class TestClassCornerCases:
+    def test_closing_bracket_as_first_member(self):
+        assert find_match_ends("[]]", b"]") == [0]
+
+    def test_trailing_dash_is_literal(self):
+        assert find_match_ends("[a-]", b"-a") == [0, 1]
+
+    def test_class_escape_inside_class(self):
+        assert find_match_ends("[\\d\\n]", b"7\n") == [0, 1]
+
+    def test_negated_class_with_range(self):
+        ends = find_match_ends("[^a-y]", b"az")
+        assert ends == [1]
+
+    def test_dash_range_to_escape(self):
+        # Range whose high bound is an escape: [\x30-\x39] == [0-9].
+        assert find_match_ends("[\\x30-\\x39]", b"a5") == [1]
+
+    def test_nested_groups_with_quantifiers(self):
+        assert find_match_ends("((ab)+c)+d", b"ababcabcd") == [8]
+
+    def test_alternation_of_different_lengths(self):
+        assert find_match_ends("a|bc|def", b"adefbc") == [0, 3, 5]

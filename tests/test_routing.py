@@ -1,0 +1,87 @@
+"""Interconnect-routability model tests."""
+
+import pytest
+
+from repro.core import SunderConfig, place
+from repro.core.routing import (
+    BankedCrossbar,
+    BoundedFanIn,
+    FullCrossbar,
+    NeighborMesh,
+    routability_study,
+)
+from repro.regex import compile_ruleset
+from repro.transform import to_rate
+
+
+@pytest.fixture(scope="module")
+def placed():
+    machine = to_rate(compile_ruleset(
+        ["ab(c|d|e|f)g", "x[0-9]{3}y", "hub(a|b|c|d)+end"]
+    ), 2)
+    config = SunderConfig(rate_nibbles=2, report_bits=16)
+    return machine, place(machine, config)
+
+
+class TestFullCrossbar:
+    def test_routes_everything(self, placed):
+        machine, placement = placed
+        report = FullCrossbar().evaluate(machine, placement)
+        assert report["routable_pct"] == 100.0
+        assert report["failures"] == []
+        assert report["edges"] == machine.num_transitions()
+
+
+class TestBankedCrossbar:
+    def test_generous_ports_route_everything(self, placed):
+        machine, placement = placed
+        report = BankedCrossbar(bank_size=64,
+                                ports_per_bank_pair=10_000).evaluate(
+            machine, placement)
+        assert report["routable_pct"] == 100.0
+
+    def test_starved_ports_fail_cross_bank_edges(self, placed):
+        machine, placement = placed
+        report = BankedCrossbar(bank_size=8,
+                                ports_per_bank_pair=0).evaluate(
+            machine, placement)
+        assert report["routable_pct"] < 100.0
+        assert report["failures"]
+
+
+class TestBoundedFanIn:
+    def test_high_fan_in_states_fail_small_k(self, placed):
+        machine, placement = placed
+        generous = BoundedFanIn(max_fan_in=64).evaluate(machine, placement)
+        strict = BoundedFanIn(max_fan_in=1).evaluate(machine, placement)
+        assert generous["routable_pct"] == 100.0
+        assert strict["routable_pct"] < generous["routable_pct"]
+
+
+class TestNeighborMesh:
+    def test_local_chains_route_with_contiguous_placement(self):
+        # A single literal chain placed contiguously is mesh-friendly.
+        machine = to_rate(compile_ruleset(["abcdef"]), 2)
+        placement = place(machine, SunderConfig(rate_nibbles=2,
+                                                report_bits=16))
+        report = NeighborMesh(reach=256).evaluate(machine, placement)
+        assert report["routable_pct"] == 100.0
+
+    def test_report_column_jump_defeats_small_reach(self, placed):
+        # Reporting states live in the last columns: the edge into them
+        # jumps across the subarray, defeating short-reach meshes.
+        machine, placement = placed
+        report = NeighborMesh(reach=4).evaluate(machine, placement)
+        assert report["routable_pct"] < 100.0
+
+
+class TestStudy:
+    def test_study_runs_all_models(self, placed):
+        machine, placement = placed
+        reports = routability_study(machine, placement)
+        names = [report["interconnect"] for report in reports]
+        assert names[0] == "full-crossbar"
+        assert len(reports) == 4
+        # The full crossbar dominates every alternative.
+        for report in reports[1:]:
+            assert report["routable_pct"] <= reports[0]["routable_pct"]

@@ -1,0 +1,73 @@
+"""LLC slice-hash tests (Section 6 integration model)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.slice_hash import MAURICE_MASKS, SliceHash, _parity
+from repro.errors import ArchitectureError
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+class TestParity:
+    @given(addresses)
+    def test_parity_matches_bin_count(self, value):
+        assert _parity(value) == bin(value).count("1") % 2
+
+
+class TestSliceHash:
+    @pytest.mark.parametrize("num_slices", [2, 4, 8])
+    def test_slice_in_range(self, num_slices):
+        hasher = SliceHash(num_slices)
+        for address in range(0, 1 << 16, 64):
+            assert 0 <= hasher.slice_of(address) < num_slices
+
+    def test_xor_linearity(self):
+        # The hash is linear over GF(2): slice(a ^ b) == slice(a) ^ slice(b).
+        hasher = SliceHash(4)
+        for a, b in [(0x1240, 0x81C0), (0xFFFC0, 0x12340), (0x40, 0x80)]:
+            assert hasher.slice_of(a ^ b) == (
+                hasher.slice_of(a) ^ hasher.slice_of(b)
+            )
+
+    def test_unsupported_slice_count_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SliceHash(3)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SliceHash(2).slice_of(-1)
+
+    @given(addresses)
+    def test_consecutive_lines_spread(self, base):
+        # The whole point of the hash: consecutive lines may land on
+        # different slices, so flat access needs the inverse scan.
+        hasher = SliceHash(8)
+        base &= ~0x3F
+        slices = {hasher.slice_of(base + index * 64) for index in range(64)}
+        assert len(slices) >= 2
+
+    def test_balance_over_large_range(self):
+        hasher = SliceHash(4)
+        histogram = hasher.slice_histogram(0, 4096)
+        assert sum(histogram) == 4096
+        for count in histogram:
+            assert count == pytest.approx(1024, rel=0.1)
+
+
+class TestInverseScan:
+    def test_addresses_land_on_target(self):
+        hasher = SliceHash(4)
+        for target in range(4):
+            found = hasher.addresses_in_slice(target, 32)
+            assert len(found) == 32
+            assert all(hasher.slice_of(a) == target for a in found)
+            assert all(a % 64 == 0 for a in found)
+
+    def test_target_out_of_range(self):
+        with pytest.raises(ArchitectureError):
+            SliceHash(2).addresses_in_slice(2, 4)
+
+    def test_masks_are_distinct(self):
+        for masks in MAURICE_MASKS.values():
+            assert len(set(masks)) == len(masks)

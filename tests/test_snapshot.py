@@ -1,0 +1,90 @@
+"""Device-serialization tests: a reloaded device is bit-equivalent."""
+
+import pytest
+
+from repro.core import SunderConfig, SunderDevice
+from repro.core.snapshot import load_device, save_device
+from repro.errors import ArchitectureError
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, stream_for
+from repro.transform import to_rate
+
+
+@pytest.fixture
+def machine():
+    return to_rate(compile_ruleset([("abc", "A"), ("xyz", "X")]), 4)
+
+
+def _device(machine, fifo=False):
+    device = SunderDevice(SunderConfig(rate_nibbles=4, report_bits=16,
+                                       fifo=fifo))
+    device.configure(machine)
+    return device
+
+
+class TestRoundTrip:
+    def test_fresh_device_roundtrip(self, machine):
+        device = _device(machine)
+        clone = load_device(save_device(device))
+        data = b"zz abc zz xyz zz"
+        vectors, limit = stream_for(machine, data)
+        result = clone.run(vectors, position_limit=limit)
+        want = BitsetEngine(machine).run(
+            vectors, position_limit=limit
+        ).event_keys()
+        assert result.reports().event_keys() == want
+
+    def test_mid_stream_resume(self, machine):
+        device = _device(machine)
+        data = b"zz abc zz xyz zz"
+        vectors, limit = stream_for(machine, data)
+        split = 5  # mid-'abc' at byte granularity
+        for vector in vectors[:split]:
+            device.step(vector)
+
+        clone = load_device(save_device(device))
+        for vector in vectors[split:]:
+            device.step(vector)
+            clone.step(tuple(vector) if not isinstance(vector, tuple)
+                       else vector)
+        assert (clone.report_events(position_limit=limit).event_keys()
+                == device.report_events(position_limit=limit).event_keys())
+
+    def test_buffered_reports_survive(self, machine):
+        device = _device(machine)
+        vectors, limit = stream_for(machine, b"abcabcabc")
+        for vector in vectors:
+            device.step(vector)
+        buffered = device.statistics()["buffered_entries"]
+        assert buffered > 0
+        clone = load_device(save_device(device))
+        assert clone.statistics()["buffered_entries"] == buffered
+        assert (clone.report_events(position_limit=limit).event_keys()
+                == device.report_events(position_limit=limit).event_keys())
+
+    def test_without_dynamic_state(self, machine):
+        device = _device(machine)
+        vectors, _ = stream_for(machine, b"abc")
+        for vector in vectors:
+            device.step(vector)
+        clone = load_device(save_device(device, include_dynamic_state=False))
+        assert clone.statistics()["buffered_entries"] == 0
+        assert clone.global_cycle == 0
+
+    def test_placement_preserved_exactly(self, machine):
+        device = _device(machine)
+        clone = load_device(save_device(device))
+        for state_id, slot in device.placement.slots.items():
+            assert clone.placement.slots[state_id] == slot
+
+    def test_unconfigured_rejected(self):
+        with pytest.raises(ArchitectureError):
+            save_device(SunderDevice())
+
+    def test_bad_version_rejected(self, machine):
+        import json
+        text = save_device(_device(machine))
+        document = json.loads(text)
+        document["version"] = 99
+        with pytest.raises(ArchitectureError):
+            load_device(json.dumps(document))

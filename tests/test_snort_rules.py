@@ -1,0 +1,114 @@
+"""Snort rule-file front-end tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.sim import BitsetEngine
+from repro.workloads.snort_rules import (
+    _decode_content,
+    compile_rules,
+    parse_rule,
+    parse_rules,
+)
+
+RULE_FILE = """
+# sample ruleset
+alert tcp any any -> any any (msg:"admin probe"; content:"GET /admin"; sid:1001;)
+alert tcp any any -> any any (msg:"crlf evil"; content:"evil|0d 0a|"; sid:1002;)
+alert tcp any any -> any any (msg:"case"; content:"LOGIN"; nocase; sid:1003;)
+alert tcp any any -> any any (msg:"regex"; pcre:"/pass[0-9]{2}/"; sid:1004;)
+alert tcp any any -> any any (msg:"two contents"; content:"user="; content:"admin"; sid:1005;)
+"""
+
+
+def _hits(automaton, data):
+    recorder = BitsetEngine(automaton).run(list(data))
+    return {code for _, code in recorder.event_keys()}
+
+
+class TestContentDecoding:
+    def test_plain_text(self):
+        assert _decode_content('"abc"') == b"abc"
+
+    def test_hex_blocks(self):
+        assert _decode_content('"a|0d 0A|b"') == b"a\r\nb"
+
+    def test_escapes(self):
+        assert _decode_content('"a\\"b"') == b'a"b'
+
+    def test_unquoted_rejected(self):
+        with pytest.raises(WorkloadError):
+            _decode_content("abc")
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            _decode_content('""')
+
+
+class TestParsing:
+    def test_parse_rule_fields(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (msg:"x"; content:"abc"; '
+            'flow:to_server; sid:7;)'
+        )
+        assert rule.sid == 7
+        assert rule.contents == [(b"abc", False)]
+        assert "flow" in rule.ignored_options
+
+    def test_nocase_applies_to_last_content(self):
+        rule = parse_rule(
+            'alert tcp any any -> any any (content:"a"; content:"b"; '
+            'nocase; sid:1;)'
+        )
+        assert rule.contents == [(b"a", False), (b"b", True)]
+
+    def test_missing_sid_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_rule('alert tcp any any -> any any (content:"a";)')
+
+    def test_not_a_rule_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_rule("this is not a rule")
+
+    def test_nocase_without_content_rejected(self):
+        with pytest.raises(WorkloadError):
+            parse_rule('alert tcp any any -> any any (nocase; sid:1;)')
+
+    def test_parse_rules_skips_comments(self):
+        rules = parse_rules(RULE_FILE)
+        assert [rule.sid for rule in rules] == [1001, 1002, 1003, 1004, 1005]
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(WorkloadError) as excinfo:
+            parse_rules("alert tcp any any -> any any (content:\"a\";)")
+        assert "line 1" in str(excinfo.value)
+
+
+class TestCompilation:
+    @pytest.fixture(scope="class")
+    def machine(self):
+        return compile_rules(RULE_FILE)
+
+    def test_plain_content(self, machine):
+        assert 1001 in _hits(machine, b"GET /admin HTTP/1.1")
+        assert 1001 not in _hits(machine, b"GET /index")
+
+    def test_hex_content(self, machine):
+        assert 1002 in _hits(machine, b"xx evil\r\n yy")
+
+    def test_nocase_content(self, machine):
+        assert 1003 in _hits(machine, b"login")
+        assert 1003 in _hits(machine, b"LoGiN")
+
+    def test_pcre(self, machine):
+        assert 1004 in _hits(machine, b"pass42")
+        assert 1004 not in _hits(machine, b"passwd")
+
+    def test_ordered_contents(self, machine):
+        assert 1005 in _hits(machine, b"user=joe admin")
+        assert 1005 not in _hits(machine, b"admin user=joe")
+
+    def test_compiles_through_the_pipeline(self, machine):
+        from repro.transform import check_equivalent, to_rate
+        strided = to_rate(machine, 4)
+        check_equivalent(machine, strided, b"GET /admin evil\r\n pass42")

@@ -1,0 +1,80 @@
+"""Software-baseline (DFA) tests: correctness and the blowup motivation."""
+
+import random
+
+import pytest
+
+from repro.baselines.software import DfaMatcher, determinize, software_cost_model
+from repro.errors import CapacityError
+from repro.regex import compile_pattern, compile_ruleset
+from repro.sim import BitsetEngine
+from conftest import random_automaton
+
+
+def _nfa_hits(automaton, data):
+    recorder = BitsetEngine(automaton).run(list(data))
+    return {(event.position, event.report_code) for event in recorder.events}
+
+
+class TestDeterminize:
+    @pytest.mark.parametrize("pattern", ["abc", "a(b|c)+d", "ab*c", "x.y"])
+    def test_dfa_equivalent_to_nfa(self, pattern):
+        automaton = compile_pattern(pattern)
+        matcher = DfaMatcher(determinize(automaton))
+        rng = random.Random(hash(pattern) & 0xFFFF)
+        for _ in range(20):
+            data = bytes(rng.choice(b"abcdxy.")
+                         for _ in range(rng.randint(0, 30)))
+            assert matcher.run(data) == _nfa_hits(automaton, data), data
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_nfa_equivalence(self, seed):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=6, bits=4,
+                                     edge_density=0.3)
+        if len(automaton) == 0:
+            return
+        matcher = DfaMatcher(determinize(automaton))
+        for _ in range(8):
+            data = [rng.randrange(16) for _ in range(rng.randint(0, 20))]
+            assert matcher.run(data) == _nfa_hits(automaton, data)
+
+    def test_ruleset_accepts_carry_all_codes(self):
+        machine = compile_ruleset([("ab", "A"), ("b", "B")])
+        dfa = determinize(machine)
+        hits = DfaMatcher(dfa).run(b"ab")
+        assert hits == {(1, "A"), (1, "B")}
+
+    def test_anchored_pattern(self):
+        automaton = compile_pattern("^ab", report_code="X")
+        matcher = DfaMatcher(determinize(automaton))
+        assert matcher.run(b"ab") == {(1, "X")}
+        assert matcher.run(b"xab") == set()
+
+    def test_dotstar_blowup_is_observable(self):
+        # k unanchored '<lit>.*<lit>' patterns need ~2^k DFA subsets: each
+        # pattern's middle can independently be "armed".
+        patterns = ["%s.*%s" % (chr(97 + i) * 2, chr(110 + i) * 2)
+                    for i in range(8)]
+        machine = compile_ruleset(patterns)
+        with pytest.raises(CapacityError):
+            determinize(machine, max_states=200)
+
+    def test_small_machine_stays_small(self, abc_automaton):
+        dfa = determinize(abc_automaton)
+        assert dfa.num_states <= 5
+        assert dfa.table_bytes() == dfa.num_states * 256 * 4
+
+
+class TestCostModel:
+    def test_dfa_wins_accesses_but_pays_memory(self, abc_automaton):
+        dfa = determinize(abc_automaton)
+        costs = software_cost_model(abc_automaton, avg_active_states=3.0,
+                                    dfa=dfa)
+        assert costs["dfa_accesses_per_byte"] == 1.0
+        assert costs["nfa_accesses_per_byte"] == 4.0
+        assert costs["dfa_memory_bytes"] > 0
+
+    def test_blowup_reported_as_none(self, abc_automaton):
+        costs = software_cost_model(abc_automaton, avg_active_states=2.0)
+        assert costs["dfa_accesses_per_byte"] is None

@@ -1,0 +1,84 @@
+"""Model-based test: the device tracks the abstract engine step-for-step.
+
+The rule machine drives a SunderDevice and a BitsetEngine through the
+same random symbol stream, interleaving host-side operations (summarize,
+live status reads, context save/restore) that must never perturb the
+matching semantics.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core import SunderConfig, SunderDevice
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, ReportRecorder, bytes_to_nibbles
+from repro.transform import to_rate
+
+_MACHINE = to_rate(compile_ruleset([("ab", "AB"), ("cd", "CD"),
+                                    ("bb+c", "BC")]), 2)
+
+
+class DeviceVsEngine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.device = SunderDevice(
+            SunderConfig(rate_nibbles=2, report_bits=16, fifo=False)
+        )
+        self.device.configure(_MACHINE)
+        self.engine = BitsetEngine(_MACHINE)
+        self.engine.reset()
+        self.recorder = ReportRecorder()
+        self.saved = None
+        self.saved_engine_state = None
+        self.steps = 0
+
+    @rule(byte=st.sampled_from(list(b"abcdx")))
+    def step_symbol(self, byte):
+        vector = tuple(bytes_to_nibbles([byte]))
+        self.device.step(vector)
+        self.engine.step(vector, self.recorder)
+        self.steps += 1
+
+    @rule()
+    def host_summarize(self):
+        # Summarization is a host-side read: matching state is untouched.
+        self.device.summarize_all()
+
+    @rule()
+    def host_live_status(self):
+        status = self.device.live_report_status()
+        # Live reporting states must be exactly the engine's active
+        # reporting states.
+        want = {
+            state_id for state_id in self.engine.active_ids()
+            if _MACHINE.state(state_id).report
+        }
+        assert set(status) == want
+
+    @rule()
+    def save_context(self):
+        self.saved = self.device.save_context()
+        self.saved_engine_state = (self.engine._active, self.engine._cycle)
+
+    @rule()
+    def restore_context(self):
+        if self.saved is None:
+            return
+        self.device.load_context(self.saved)
+        self.engine._active, self.engine._cycle = self.saved_engine_state
+
+    @invariant()
+    def active_sets_agree(self):
+        device_active = set()
+        for _, _, pu in self.device.iter_pus():
+            for column, state in enumerate(pu.state_of_column):
+                if state is not None and pu.active[column]:
+                    device_active.add(state.id)
+        assert device_active == set(self.engine.active_ids())
+
+
+DeviceVsEngine.TestCase.settings = settings(
+    max_examples=10, stateful_step_count=30, deadline=None,
+)
+TestDeviceVsEngineStateful = DeviceVsEngine.TestCase

@@ -1,0 +1,104 @@
+"""Model-based (stateful hypothesis) tests of the reporting region.
+
+A plain-Python deque is the reference model; the rule machine interleaves
+appends, FIFO drains, flushes, and summarization arbitrarily and checks
+that the hardware region never loses, reorders, duplicates, or corrupts
+an entry.  This is the strongest guarantee the reporting architecture
+needs: the host always reconstructs exactly the report stream.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core import ReportingRegion, SramSubarray, SunderConfig
+
+
+class ReportingRegionMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        # Small capacity so flushes actually happen: 4 entries/row.
+        self.config = SunderConfig(
+            rate_nibbles=4, report_bits=12, metadata_bits=52, fifo=True,
+            fifo_drain_rows_per_cycle=0.0,  # drains only via explicit rules
+        )
+        subarray = SramSubarray(self.config.subarray_rows,
+                                self.config.subarray_cols)
+        self.received = []
+        self.region = ReportingRegion(subarray, self.config,
+                                      sink=self.received.extend)
+        self.model = []          # entries still resident, oldest first
+        self.model_received = []  # entries the host got, in order
+        self.next_cycle = 0
+        self.ever_reported = set()
+
+    # ------------------------------------------------------------------
+    @rule(position=st.integers(0, 11))
+    def append(self, position):
+        bits = np.zeros(12, dtype=bool)
+        bits[position] = True
+        cycle = self.next_cycle
+        self.next_cycle += 1
+        self.region.append(bits, cycle)
+        # Model: a full region flushes everything before the write.
+        if len(self.model) >= self.config.report_capacity:
+            self.model_received.extend(self.model)
+            self.model = []
+        self.model.append((cycle, position))
+        self.ever_reported.add(position)
+
+    @rule(budget=st.integers(1, 10))
+    def drain(self, budget):
+        drained = self.region.tick(max_entries=budget)
+        assert drained == min(budget, len(self.model))
+        self.model_received.extend(self.model[:drained])
+        self.model = self.model[drained:]
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def flush(self):
+        self.region.flush()
+        self.model_received.extend(self.model)
+        self.model = []
+        self.ever_reported = set()
+
+    @rule()
+    def summarize(self):
+        summary, _ = self.region.summarize()
+        live_positions = {position for _, position in self.model}
+        got = set(np.flatnonzero(summary))
+        # Summarization ORs whole rows: it must cover every live entry and
+        # may additionally include stale bits from drained-but-unerased
+        # slots; it can never invent a position that never reported.
+        assert live_positions <= got
+        assert got <= self.ever_reported | live_positions
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def resident_entries_match_model(self):
+        entries = self.region.read_entries()
+        assert [(e.cycle, int(np.flatnonzero(e.report_vector)[0]))
+                for e in entries] == self.model
+
+    @invariant()
+    def received_stream_matches_model(self):
+        got = [(e.cycle, int(np.flatnonzero(e.report_vector)[0]))
+               for e in self.received]
+        assert got == self.model_received
+
+    @invariant()
+    def count_consistent(self):
+        assert self.region.count == len(self.model)
+        assert 0 <= self.region.count <= self.config.report_capacity
+
+
+ReportingRegionMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=60, deadline=None,
+)
+TestReportingRegionStateful = ReportingRegionMachine.TestCase

@@ -1,0 +1,93 @@
+"""Bit-level subarray tests: ports, wired-NOR, stability limits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import MAX_ACTIVATED_ROWS, SramSubarray
+from repro.errors import ArchitectureError
+
+
+class TestPort1:
+    def test_write_read_roundtrip(self):
+        array = SramSubarray(8, 8)
+        row = np.array([1, 0, 1, 0, 0, 1, 1, 0], dtype=bool)
+        array.write_row(3, row)
+        assert (array.read_row(3) == row).all()
+
+    def test_partial_write(self):
+        array = SramSubarray(8, 8)
+        array.write_bits(2, 3, [True, True])
+        expected = np.zeros(8, dtype=bool)
+        expected[3:5] = True
+        assert (array.read_row(2) == expected).all()
+
+    def test_row_bounds_checked(self):
+        array = SramSubarray(4, 4)
+        with pytest.raises(ArchitectureError):
+            array.read_row(4)
+        with pytest.raises(ArchitectureError):
+            array.write_row(-1, np.zeros(4, dtype=bool))
+
+    def test_column_bounds_checked(self):
+        array = SramSubarray(4, 4)
+        with pytest.raises(ArchitectureError):
+            array.write_bits(0, 3, [True, True])
+
+    def test_wrong_width_rejected(self):
+        array = SramSubarray(4, 4)
+        with pytest.raises(ArchitectureError):
+            array.write_row(0, np.zeros(5, dtype=bool))
+
+    def test_access_counters(self):
+        array = SramSubarray(4, 4)
+        array.write_row(0, np.zeros(4, dtype=bool))
+        array.read_row(0)
+        array.wired_nor([0])
+        assert (array.port1_writes, array.port1_reads, array.port2_reads) == (1, 1, 1)
+
+
+class TestPort2:
+    def test_single_row_nor_is_inversion(self):
+        array = SramSubarray(4, 4)
+        array.write_row(0, [True, False, True, False])
+        assert list(array.wired_nor([0])) == [False, True, False, True]
+
+    @given(st.lists(st.integers(0, 255), min_size=1, max_size=16),
+           st.integers(0, 2 ** 30))
+    def test_nor_semantics_property(self, row_values, seed):
+        rng = np.random.RandomState(seed % (2 ** 31))
+        array = SramSubarray(16, 8)
+        data = rng.rand(16, 8) < 0.4
+        array.cells[:, :] = data
+        rows = sorted({v % 16 for v in row_values})
+        got = array.wired_nor(rows)
+        want = ~np.any(data[rows, :], axis=0)
+        assert (got == want).all()
+
+    def test_wired_or_is_inverted_nor(self):
+        array = SramSubarray(8, 4)
+        array.write_row(1, [True, False, False, True])
+        assert (array.wired_or([1, 2]) == ~array.wired_nor([1, 2])).all()
+
+    def test_activation_limit_enforced(self):
+        array = SramSubarray(128, 4)
+        with pytest.raises(ArchitectureError):
+            array.wired_nor(range(MAX_ACTIVATED_ROWS + 1))
+        array.wired_nor(range(MAX_ACTIVATED_ROWS))  # at the limit: fine
+
+    def test_empty_activation_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SramSubarray(4, 4).wired_nor([])
+
+
+class TestHousekeeping:
+    def test_clear(self):
+        array = SramSubarray(4, 4)
+        array.cells[:] = True
+        array.clear()
+        assert array.utilization() == 0.0
+
+    def test_bad_dimensions_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SramSubarray(0, 4)

@@ -1,0 +1,173 @@
+"""Unit and property tests for SymbolSet."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.automata import SymbolSet
+from repro.errors import SymbolError
+
+masks8 = st.integers(min_value=0, max_value=(1 << 256) - 1)
+masks4 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestConstruction:
+    def test_empty_and_full(self):
+        empty = SymbolSet.empty(8)
+        full = SymbolSet.full(8)
+        assert empty.is_empty() and not empty
+        assert full.is_full() and len(full) == 256
+
+    def test_of_and_contains(self):
+        sset = SymbolSet.of(8, [0, 10, 255])
+        assert 0 in sset and 10 in sset and 255 in sset
+        assert 5 not in sset and 300 not in sset
+
+    def test_single(self):
+        assert list(SymbolSet.single(4, 7)) == [7]
+
+    def test_from_ranges(self):
+        sset = SymbolSet.from_ranges(8, [(10, 12), (20, 20)])
+        assert sorted(sset) == [10, 11, 12, 20]
+
+    def test_out_of_range_symbol_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolSet.of(4, [16])
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolSet.from_ranges(8, [(5, 3)])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolSet(0)
+
+    def test_immutable(self):
+        sset = SymbolSet.full(4)
+        with pytest.raises(AttributeError):
+            sset.mask = 0
+
+    def test_from_bytes_literal(self):
+        sset = SymbolSet.from_bytes_literal(b"ab")
+        assert sorted(sset) == [ord("a"), ord("b")]
+
+
+class TestAlgebra:
+    def test_union_intersect_difference(self):
+        a = SymbolSet.of(8, [1, 2, 3])
+        b = SymbolSet.of(8, [3, 4])
+        assert sorted(a | b) == [1, 2, 3, 4]
+        assert sorted(a & b) == [3]
+        assert sorted(a - b) == [1, 2]
+
+    def test_complement(self):
+        a = SymbolSet.of(4, [0, 15])
+        assert len(~a) == 14
+        assert (~~a) == a
+
+    def test_alphabet_mismatch_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolSet.full(4) | SymbolSet.full(8)
+
+    def test_subset_and_overlap(self):
+        a = SymbolSet.of(8, [1, 2])
+        b = SymbolSet.of(8, [1, 2, 3])
+        assert a.is_subset(b) and not b.is_subset(a)
+        assert a.overlaps(b)
+        assert not a.overlaps(SymbolSet.of(8, [9]))
+
+    @given(masks4, masks4)
+    def test_de_morgan(self, m1, m2):
+        a, b = SymbolSet(4, m1), SymbolSet(4, m2)
+        assert ~(a | b) == (~a) & (~b)
+        assert ~(a & b) == (~a) | (~b)
+
+    @given(masks4)
+    def test_complement_partitions(self, mask):
+        a = SymbolSet(4, mask)
+        assert (a | ~a).is_full()
+        assert (a & ~a).is_empty()
+
+
+class TestQueries:
+    def test_min_max(self):
+        sset = SymbolSet.of(8, [9, 100, 3])
+        assert sset.min() == 3 and sset.max() == 100
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(SymbolError):
+            SymbolSet.empty(8).min()
+
+    def test_density(self):
+        assert SymbolSet.full(4).density() == 1.0
+        assert SymbolSet.of(4, [0]).density() == 1 / 16
+
+    def test_ranges_merging(self):
+        sset = SymbolSet.of(8, [1, 2, 3, 7, 9, 10])
+        assert list(sset.ranges()) == [(1, 3), (7, 7), (9, 10)]
+
+    @given(masks4)
+    def test_ranges_cover_exactly(self, mask):
+        sset = SymbolSet(4, mask)
+        covered = set()
+        for low, high in sset.ranges():
+            covered |= set(range(low, high + 1))
+        assert covered == set(sset)
+
+    @given(masks4)
+    def test_len_matches_iter(self, mask):
+        sset = SymbolSet(4, mask)
+        assert len(sset) == len(list(sset))
+
+
+class TestNibbleSplit:
+    def test_full_byte_set_is_one_group(self):
+        groups = SymbolSet.full(8).split_nibbles()
+        assert len(groups) == 1
+        high, low = groups[0]
+        assert high.is_full() and low.is_full()
+
+    def test_single_byte(self):
+        groups = SymbolSet.single(8, 0xAB).split_nibbles()
+        assert len(groups) == 1
+        high, low = groups[0]
+        assert list(high) == [0xA] and list(low) == [0xB]
+
+    def test_requires_8_bits(self):
+        with pytest.raises(SymbolError):
+            SymbolSet.full(4).split_nibbles()
+
+    @given(masks8)
+    def test_split_reconstructs_exactly(self, mask):
+        sset = SymbolSet(8, mask)
+        rebuilt = set()
+        groups = sset.split_nibbles()
+        for high, low in groups:
+            for h in high:
+                for l in low:
+                    value = (h << 4) | l
+                    assert value not in rebuilt, "groups must be disjoint"
+                    rebuilt.add(value)
+        assert rebuilt == set(sset)
+
+    @given(masks8)
+    def test_split_group_count_bounded(self, mask):
+        groups = SymbolSet(8, mask).split_nibbles()
+        assert len(groups) <= 16
+
+
+class TestRendering:
+    def test_full_renders_star(self):
+        assert SymbolSet.full(8).to_charclass() == "[*]"
+
+    def test_range_rendering(self):
+        sset = SymbolSet.from_ranges(8, [(ord("a"), ord("f"))])
+        assert sset.to_charclass() == "[a-f]"
+
+    def test_escapes_nonprintable(self):
+        assert "\\x00" in SymbolSet.single(8, 0).to_charclass()
+
+    def test_roundtrip_through_anml_parser(self):
+        from repro.automata.anml import parse_charclass
+        for members in ([5], [0, 255], list(range(50, 80)), [10, 12, 14]):
+            sset = SymbolSet.of(8, members)
+            assert parse_charclass(sset.to_charclass()) == sset

@@ -1,0 +1,54 @@
+"""Synthetic-workload builder tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import synthetic_workload
+
+
+class TestSyntheticWorkload:
+    def test_hits_report_cycle_target(self):
+        instance = synthetic_workload(report_cycle_pct=8.0, scale=0.005,
+                                      seed=1)
+        row = instance.measured_behavior()
+        assert row["report_cycle_pct"] == pytest.approx(8.0, abs=1.0)
+
+    def test_burst_profile(self):
+        instance = synthetic_workload(
+            report_cycle_pct=4.0, burst_size=6, burst_fraction=0.5,
+            scale=0.005, seed=2,
+        )
+        row = instance.measured_behavior()
+        # Expected mean: 0.5*6 + 0.5*1 = 3.5.
+        assert row["reports_per_report_cycle"] == pytest.approx(3.5, abs=0.8)
+
+    def test_state_budget(self):
+        instance = synthetic_workload(states=400, scale=0.005, seed=0)
+        assert len(instance.automaton) >= 400
+
+    def test_pattern_length_controls_report_fraction(self):
+        short = synthetic_workload(states=400, pattern_length=6,
+                                   scale=0.005, seed=3)
+        long = synthetic_workload(states=400, pattern_length=30,
+                                  scale=0.005, seed=3)
+        assert (short.measured_behavior()["report_state_pct"]
+                > long.measured_behavior()["report_state_pct"])
+
+    def test_silent_configuration(self):
+        instance = synthetic_workload(report_cycle_pct=0.0, scale=0.005)
+        assert instance.measured_behavior()["reports"] == 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"burst_size": 0},
+        {"burst_fraction": 1.5},
+        {"report_cycle_pct": 150.0},
+        {"report_cycle_pct": 20.0, "witness_length": 30},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            synthetic_workload(scale=0.005, **kwargs)
+
+    def test_deterministic(self):
+        a = synthetic_workload(scale=0.005, seed=9)
+        b = synthetic_workload(scale=0.005, seed=9)
+        assert a.input_bytes == b.input_bytes
