@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench repro scorecard docs clean
+.PHONY: install test bench repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,9 @@ repro:
 
 scorecard:
 	$(PYTHON) -m repro experiment scorecard --scale 0.01
+
+profile-smoke:
+	$(PYTHON) scripts/check_metrics_schema.py
 
 docs:
 	$(PYTHON) scripts/generate_api_docs.py

@@ -1,0 +1,16 @@
+"""Tier-2 check: the profiled experiment exports validate against schema.
+
+Mirrors ``make profile-smoke`` inside the benchmark suite so any drift
+in the metrics-snapshot or Chrome-trace exposition formats fails fast.
+"""
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import check_metrics_schema  # noqa: E402
+
+
+def test_profile_smoke(bench_scale):
+    assert check_metrics_schema.check(scale=min(bench_scale, 0.005)) == 0

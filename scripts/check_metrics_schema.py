@@ -1,0 +1,103 @@
+"""Profile-smoke check: run a profiled experiment, validate its exports.
+
+Usage:  python scripts/check_metrics_schema.py [scale]
+
+Runs ``python -m repro profile experiment table4 --metrics-out ...
+--trace-out ...`` in-process, then validates
+
+- the metrics JSON against the snapshot schema
+  (:func:`repro.obs.validate_snapshot`), including the presence of the
+  documented core metric families, and
+- the Chrome trace file's structure, including the nested
+  configure -> run -> report-drain stage spans.
+
+Exits non-zero on any drift, so the exposition format is pinned in CI
+(``make profile-smoke``).
+"""
+
+import json
+import pathlib
+import sys
+import tempfile
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main as repro_main  # noqa: E402
+from repro.obs import validate_snapshot  # noqa: E402
+
+#: Metric families the profiled table4 run must populate.
+REQUIRED_METRICS = (
+    "repro_engine_runs_total",
+    "repro_engine_cycles_total",
+    "repro_engine_active_states",
+    "repro_transform_runs_total",
+    "repro_transform_stage_seconds",
+    "repro_experiment_runs_total",
+    "repro_experiment_seconds",
+)
+#: Stage spans that must appear, nested under the experiment span.
+REQUIRED_SPANS = (
+    "experiment.table4",
+    "table4.configure",
+    "table4.run",
+    "table4.report_drain",
+    "engine.run",
+    "reporting.drain_model",
+)
+
+
+def fail(message):
+    print("profile-smoke: FAIL: %s" % message, file=sys.stderr)
+    return 1
+
+
+def check(scale="0.002"):
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics_path = pathlib.Path(tmp) / "metrics.json"
+        trace_path = pathlib.Path(tmp) / "trace.json"
+        code = repro_main([
+            "profile", "experiment", "table4", "--scale", str(scale),
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+        ])
+        if code != 0:
+            return fail("profiled run exited %d" % code)
+
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+        validate_snapshot(snapshot)
+        names = {metric["name"] for metric in snapshot["metrics"]}
+        missing = [name for name in REQUIRED_METRICS if name not in names]
+        if missing:
+            return fail("snapshot lacks core metrics: %s" % missing)
+        empty = [
+            metric["name"] for metric in snapshot["metrics"]
+            if metric["name"] in REQUIRED_METRICS and not metric["samples"]
+        ]
+        if empty:
+            return fail("core metrics recorded no samples: %s" % empty)
+
+        trace = json.loads(trace_path.read_text(encoding="utf-8"))
+        events = trace.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            return fail("trace has no traceEvents")
+        by_name = {}
+        for event in events:
+            if event.get("ph") != "X":
+                return fail("unexpected event phase %r" % event.get("ph"))
+            by_name.setdefault(event["name"], event)
+        missing_spans = [n for n in REQUIRED_SPANS if n not in by_name]
+        if missing_spans:
+            return fail("trace lacks stage spans: %s" % missing_spans)
+        experiment_depth = by_name["experiment.table4"]["args"]["depth"]
+        for stage in ("table4.configure", "table4.run", "table4.report_drain"):
+            if by_name[stage]["args"]["depth"] <= experiment_depth:
+                return fail("span %s is not nested under the experiment"
+                            % stage)
+
+    print("profile-smoke: OK (%d metrics, %d spans)"
+          % (len(snapshot["metrics"]), len(events)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(check(*sys.argv[1:]))

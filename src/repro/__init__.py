@@ -13,6 +13,7 @@ architecture.  This package provides:
 - :mod:`repro.baselines` — AP, AP+RAD, Cache Automaton, Impala models
 - :mod:`repro.workloads` — synthetic ANMLZoo/Regex benchmark stand-ins
 - :mod:`repro.experiments` — one harness per paper table/figure
+- :mod:`repro.obs` — telemetry: metrics registry, span tracing, hooks
 """
 
 __version__ = "1.0.0"

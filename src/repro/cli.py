@@ -10,12 +10,17 @@ Commands
 ``experiment``   run one paper experiment (table1..table5, figure8..10)
 ``workload``     generate a synthetic benchmark and print its Table-1 row
 ``trace``        cycle-by-cycle execution trace for debugging
+``profile``      run any other command with telemetry collection on
+
+``match``, ``experiment``, and ``workload`` additionally accept
+``--metrics-out metrics.json`` / ``--trace-out trace.json`` to export the
+telemetry gathered during the run (see docs/observability.md).
 """
 
 import argparse
 import sys
 
-from . import experiments
+from . import experiments, obs
 from .automata import anml, mnrl
 from .automata.viz import outline, to_dot
 from .core import SunderConfig, SunderDevice
@@ -57,8 +62,13 @@ def cmd_match(args):
     vectors, limit = stream_for(machine, data)
     result = device.run(vectors, position_limit=limit)
     events = sorted(result.reports().events, key=lambda e: e.position)
+    # Report positions are in the machine's sub-symbol units (nibbles for
+    # the 4-bit machines every rate produces); derive the per-byte
+    # divisor from the configured geometry instead of hardcoding it.
+    positions_per_byte = 8 // machine.bits
     for event in events:
-        print("%d\t%s" % (event.position // 2, event.report_code))
+        print("%d\t%s" % (event.position // positions_per_byte,
+                          event.report_code))
     print("-- %d matches, %d cycles, %.3fx reporting overhead" % (
         len(events), result.cycles, result.slowdown), file=sys.stderr)
     return 0
@@ -163,6 +173,64 @@ def cmd_trace(args):
     return 0
 
 
+def _run_observed(func, args, metrics_out, trace_out, summarize):
+    """Run one command with a telemetry collector attached.
+
+    Metrics go to a fresh registry (so the snapshot covers exactly this
+    run) and spans to a fresh trace collector.  ``summarize`` prints the
+    text exposition to stderr when no --metrics-out was given (the
+    ``profile`` wrapper's default behaviour).
+    """
+    registry = obs.MetricsRegistry()
+    trace = obs.TraceCollector()
+    with obs.collecting(registry=registry, trace=trace):
+        with obs.trace_span("cli.%s" % args.command):
+            code = func(args)
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(registry.render_json())
+            handle.write("\n")
+    if trace_out:
+        trace.write_chrome_trace(trace_out)
+    if summarize:
+        if not metrics_out:
+            print(registry.render_text(), file=sys.stderr)
+        print("profile: %d metrics, %d spans%s%s" % (
+            len(registry), len(trace.finished()),
+            ", metrics -> %s" % metrics_out if metrics_out else "",
+            ", trace -> %s" % trace_out if trace_out else "",
+        ), file=sys.stderr)
+    return code
+
+
+def cmd_profile(args):
+    """Re-parse the wrapped command and run it under a collector."""
+    argv = list(args.argv)
+    if argv and argv[0] == "--":
+        argv = argv[1:]
+    if not argv:
+        print("error: profile requires a command to run, e.g. "
+              "'repro profile experiment table4'", file=sys.stderr)
+        return 2
+    inner = build_parser().parse_args(argv)
+    if inner.func is cmd_profile:
+        print("error: profile cannot wrap itself", file=sys.stderr)
+        return 2
+    return _run_observed(
+        inner.func, inner,
+        getattr(inner, "metrics_out", None),
+        getattr(inner, "trace_out", None),
+        summarize=True,
+    )
+
+
+def _add_observability_flags(parser):
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="collect metrics and write a JSON snapshot")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="collect spans and write a Chrome trace file")
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -187,6 +255,7 @@ def build_parser():
     match_parser.add_argument("--rate", type=int, default=4,
                               choices=[1, 2, 4])
     match_parser.add_argument("--report-bits", type=int, default=16)
+    _add_observability_flags(match_parser)
     match_parser.set_defaults(func=cmd_match)
 
     transform_parser = commands.add_parser(
@@ -200,6 +269,7 @@ def build_parser():
         "name", choices=sorted(experiments.ALL_EXPERIMENTS))
     experiment_parser.add_argument("--scale", type=float, default=0.01)
     experiment_parser.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(experiment_parser)
     experiment_parser.set_defaults(func=cmd_experiment)
 
     workload_parser = commands.add_parser(
@@ -207,6 +277,7 @@ def build_parser():
     workload_parser.add_argument("name", choices=list(BENCHMARK_NAMES))
     workload_parser.add_argument("--scale", type=float, default=0.01)
     workload_parser.add_argument("--seed", type=int, default=0)
+    _add_observability_flags(workload_parser)
     workload_parser.set_defaults(func=cmd_workload)
 
     plan_parser = commands.add_parser(
@@ -231,6 +302,14 @@ def build_parser():
     trace_parser.add_argument("--max-cycles", type=int, default=100)
     trace_parser.set_defaults(func=cmd_trace)
 
+    profile_parser = commands.add_parser(
+        "profile",
+        help="run another command with metrics + span collection enabled")
+    profile_parser.add_argument(
+        "argv", nargs=argparse.REMAINDER, metavar="command",
+        help="the command to profile, with its own arguments")
+    profile_parser.set_defaults(func=cmd_profile)
+
     return parser
 
 
@@ -239,6 +318,11 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        metrics_out = getattr(args, "metrics_out", None)
+        trace_out = getattr(args, "trace_out", None)
+        if metrics_out or trace_out:
+            return _run_observed(args.func, args, metrics_out, trace_out,
+                                 summarize=False)
         return args.func(args)
     except ReproError as error:
         print("error: %s" % error, file=sys.stderr)

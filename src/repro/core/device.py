@@ -10,7 +10,10 @@ For large parameter sweeps use :mod:`repro.core.perfmodel`, which
 reproduces only the timing behaviour from a report profile.
 """
 
+from time import perf_counter
+
 from ..errors import ArchitectureError
+from ..obs import OBS, trace_span
 from ..sim.reports import ReportRecorder
 from .config import PUS_PER_CLUSTER, SunderConfig
 from .interconnect import GlobalSwitch
@@ -76,6 +79,14 @@ class SunderDevice:
                 "Sunder matches 4-bit nibbles; transform the automaton first "
                 "(repro.transform.to_rate)"
             )
+        with trace_span("device.configure", automaton=automaton.name,
+                        states=len(automaton)):
+            placement = self._configure(automaton)
+        if OBS.active:
+            self._record_configure_metrics(placement)
+        return placement
+
+    def _configure(self, automaton):
         placement = place(automaton, self.config, max_clusters=self.max_clusters)
         self.clusters = [_Cluster(self.config) for _ in range(placement.clusters_used)]
         for state in automaton:
@@ -103,6 +114,20 @@ class SunderDevice:
         self.automaton = automaton
         self.global_cycle = 0
         return placement
+
+    def _record_configure_metrics(self, placement):
+        instruments = OBS.instruments
+        instruments.device_reconfigurations.inc()
+        columns_per_cluster = PUS_PER_CLUSTER * self.config.subarray_cols
+        per_cluster = [0] * placement.clusters_used
+        for slot in placement.slots.values():
+            per_cluster[slot.cluster] += 1
+        for cluster_index, states in enumerate(per_cluster):
+            label = str(cluster_index)
+            instruments.device_configured_states.labels(
+                cluster=label).set(states)
+            instruments.device_cluster_utilization.labels(
+                cluster=label).set(states / columns_per_cluster)
 
     # ------------------------------------------------------------------
     # Runtime
@@ -153,21 +178,48 @@ class SunderDevice:
         if budget <= 0:
             return
         pending = [region for region in regions if region.count > 0]
+        drained_total = 0
         for region in pending:
             if budget <= 0:
                 break
             drained = region.tick(max_entries=budget)
             budget -= drained
+            drained_total += drained
         self._drain_credit -= int(self._drain_credit) - budget
+        if drained_total and OBS.active:
+            OBS.instruments.device_fifo_drained.inc(drained_total)
 
     def run(self, vectors, position_limit=None):
         """Stream a whole input; returns a :class:`RunResult`."""
-        total_stall = 0
         vectors = list(vectors)
+        if OBS.active:  # single attribute check when no collector attached
+            return self._run_observed(vectors, position_limit)
+        total_stall = 0
         for vector in vectors:
             if isinstance(vector, int):
                 vector = (vector,)
             total_stall += self.step(tuple(vector))
+        return RunResult(self, len(vectors), total_stall, position_limit)
+
+    def _run_observed(self, vectors, position_limit):
+        """`run` with the telemetry hooks live (collector attached)."""
+        instruments = OBS.instruments
+        flushes_before = sum(pu.reporting.flushes for _, _, pu in self.iter_pus())
+        total_stall = 0
+        with trace_span("device.run", cycles=len(vectors)) as span:
+            start = perf_counter()
+            for vector in vectors:
+                if isinstance(vector, int):
+                    vector = (vector,)
+                total_stall += self.step(tuple(vector))
+            elapsed = perf_counter() - start
+            span.set_attr(stall_cycles=total_stall)
+        instruments.device_cycles.inc(len(vectors))
+        instruments.device_stall_cycles.inc(total_stall)
+        instruments.device_flushes.inc(
+            sum(pu.reporting.flushes for _, _, pu in self.iter_pus())
+            - flushes_before)
+        instruments.device_run_seconds.observe(elapsed)
         return RunResult(self, len(vectors), total_stall, position_limit)
 
     # ------------------------------------------------------------------
@@ -187,6 +239,10 @@ class SunderDevice:
         report bits back to state identities.  Cycle metadata is unwrapped
         modulo ``2**metadata_bits`` assuming in-order arrival.
         """
+        with trace_span("device.report_drain"):
+            return self._report_events(position_limit)
+
+    def _report_events(self, position_limit):
         recorder = ReportRecorder(position_limit=position_limit)
         modulus = 1 << self.config.metadata_bits
         arity = self.config.rate_nibbles

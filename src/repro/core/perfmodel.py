@@ -20,6 +20,7 @@ million-cycle parameter sweeps, so the timing behaviour is factored out:
 import numpy as np
 
 from ..errors import ArchitectureError
+from ..obs import trace_span
 
 #: Host load-path bandwidth for the Figure 10 model, in bits per device
 #: cycle.  Calibrated from the paper's anchor points (see module docs).
@@ -79,6 +80,11 @@ class ReportingPerfModel:
         a reduced scale, preserving the fill/flush dynamics of a
         full-size 1MB run.
         """
+        with trace_span("reporting.drain_model", fifo=self.config.fifo,
+                        pus=len(pu_fill_cycles), cycles=total_cycles):
+            return self._evaluate(pu_fill_cycles, total_cycles, capacity_scale)
+
+    def _evaluate(self, pu_fill_cycles, total_cycles, capacity_scale):
         config = self.config
         if capacity_scale <= 0:
             raise ArchitectureError("capacity_scale must be positive")

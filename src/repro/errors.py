@@ -49,5 +49,9 @@ class FormatError(ReproError):
     """An ANML/MNRL document could not be parsed or serialized."""
 
 
+class ObservabilityError(ReproError):
+    """The telemetry layer was misused (bad metric name, double attach, ...)."""
+
+
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""

@@ -10,6 +10,7 @@ without summarization, 1.4x with 16-row-batch summarization.
 
 from ..core.config import SunderConfig
 from ..core.perfmodel import sensitivity_slowdown
+from ..obs import instrumented_experiment
 from .formatting import format_table
 
 #: The sweep points shown in the paper's figure.
@@ -49,6 +50,7 @@ def render(rows):
     )
 
 
+@instrumented_experiment("figure10")
 def main():
     """Run and print."""
     rows = run()

@@ -10,6 +10,7 @@ AP-style (or AP+RAD) average, exactly as the paper's comparison does.
 """
 
 from ..baselines.throughput import figure8_rows
+from ..obs import instrumented_experiment
 from .formatting import format_table
 from . import table4
 
@@ -57,6 +58,7 @@ def render(rows):
     return format_table(rows, columns, title="Figure 8: throughput comparison")
 
 
+@instrumented_experiment("figure8")
 def main(scale=0.01, seed=0):
     """Run and print."""
     rows = run(scale=scale, seed=seed)

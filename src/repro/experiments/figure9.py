@@ -5,6 +5,7 @@ of magnitude higher throughput per unit area than the AP").
 """
 
 from ..hwmodel.area import figure9_breakdown, throughput_per_area
+from ..obs import instrumented_experiment
 from .formatting import format_table
 
 COLUMNS = [
@@ -52,6 +53,7 @@ def render(rows):
     return text
 
 
+@instrumented_experiment("figure9")
 def main(num_states=32768):
     """Run and print."""
     rows = run(num_states)

@@ -8,6 +8,7 @@ that no claim regresses.
 
 import json
 
+from ..obs import OBS, instrumented_experiment
 from . import figure8, figure9, figure10, table1, table3, table4, table5
 from .formatting import format_table
 
@@ -135,13 +136,34 @@ def render(claims):
     return "%s\n%d/%d claims reproduced" % (table, passed, len(claims))
 
 
-def to_json(claims, indent=2):
-    """Machine-readable scorecard."""
-    return json.dumps([claim.as_dict() for claim in claims], indent=indent)
+def to_json(claims, indent=2, metrics=None):
+    """Machine-readable scorecard.
+
+    When a telemetry collector is attached (or ``metrics`` is passed
+    explicitly), the metrics snapshot gathered while the claims were
+    measured is embedded alongside them.
+    """
+    if metrics is None and OBS.active:
+        metrics = OBS.registry.snapshot()
+    payload = {
+        "claims": [claim.as_dict() for claim in claims],
+        "metrics": metrics,
+    }
+    return json.dumps(payload, indent=indent)
 
 
+@instrumented_experiment("scorecard")
 def main(scale=0.01, seed=0):
     """Run and print."""
     claims = build_scorecard(scale=scale, seed=seed)
     print(render(claims))
+    if OBS.active:
+        gauge = OBS.registry.get("repro_scorecard_claims_passed")
+        if gauge is None:
+            gauge = OBS.registry.gauge(
+                "repro_scorecard_claims_passed",
+                "Claims inside their acceptance band in the last "
+                "scorecard run.",
+            )
+        gauge.set(sum(1 for claim in claims if claim.passed))
     return claims

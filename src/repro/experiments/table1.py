@@ -7,6 +7,7 @@ generators' calibration targets); absolute counts scale with the input.
 """
 
 from ..workloads.registry import BENCHMARK_NAMES, generate
+from ..obs import instrumented_experiment
 from .formatting import format_table
 
 COLUMNS = [
@@ -46,6 +47,7 @@ def render(rows):
     return format_table(rows, COLUMNS, title="Table 1: reporting behaviour")
 
 
+@instrumented_experiment("table1")
 def main(scale=0.02, seed=0):
     """Run and print (entry point used by the benchmark harness)."""
     rows = run(scale=scale, seed=seed)

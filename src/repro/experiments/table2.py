@@ -7,6 +7,7 @@ consume.
 """
 
 from ..hwmodel.subarray_params import CA_MATCHING, SUNDER_8T, table2_rows
+from ..obs import instrumented_experiment
 from .formatting import format_table
 
 COLUMNS = [
@@ -38,6 +39,7 @@ def render(rows, derived):
     return text
 
 
+@instrumented_experiment("table2")
 def main():
     """Run and print."""
     rows, derived = run()

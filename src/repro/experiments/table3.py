@@ -7,6 +7,7 @@ original — the cost side of the throughput/density trade-off.
 
 from ..transform.pipeline import transform_overhead
 from ..workloads.registry import BENCHMARK_NAMES, generate
+from ..obs import instrumented_experiment
 from .formatting import format_table
 
 COLUMNS = [
@@ -51,6 +52,7 @@ def render(rows, averages):
     )
 
 
+@instrumented_experiment("table3")
 def main(scale=0.01, seed=0, names=None):
     """Run and print."""
     rows, averages = run(scale=scale, seed=seed, names=names)

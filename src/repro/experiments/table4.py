@@ -24,6 +24,7 @@ from ..sim.inputs import stream_for
 from ..sim.reports import ReportRecorder
 from ..transform.pipeline import to_rate
 from ..workloads.registry import BENCHMARK_NAMES, PAPER_TABLE4, generate
+from ..obs import instrumented_experiment, trace_span
 from .formatting import format_table
 
 COLUMNS = [
@@ -50,37 +51,41 @@ def evaluate_benchmark(instance, rate=4, config=None, scale=1.0):
     automaton = instance.automaton
     data = instance.input_bytes
 
-    # --- AP / AP+RAD on the 8-bit machine (byte cycle base) ------------
-    engine = BitsetEngine(automaton)
-    recorder = ReportRecorder(keep_events=True)
-    engine.run(list(data), recorder)
-    byte_cycles = len(data)
-    report_ids = [state.id for state in automaton.report_states()]
-    ap = ApReportingModel(rad=False, scale=scale).evaluate(
-        recorder.events, report_ids, byte_cycles
-    )
-    rad = ApReportingModel(rad=True, scale=scale).evaluate(
-        recorder.events, report_ids, byte_cycles
-    )
+    # --- configure: transform + place onto Sunder PUs ------------------
+    with trace_span("table4.configure", benchmark=instance.name):
+        strided = to_rate(automaton, rate)
+        if config is None:
+            config = SunderConfig(rate_nibbles=rate)
+        placement = place(strided, config)
 
-    # --- Sunder on the 4-nibble machine (vector cycle base) ------------
-    strided = to_rate(automaton, rate)
-    vectors, limit = stream_for(strided, data)
-    strided_recorder = ReportRecorder(keep_events=True, position_limit=limit)
-    BitsetEngine(strided).run(vectors, strided_recorder)
-    vector_cycles = len(vectors)
+    # --- run: exact report streams from the functional simulator -------
+    with trace_span("table4.run", benchmark=instance.name):
+        engine = BitsetEngine(automaton)
+        recorder = ReportRecorder(keep_events=True)
+        engine.run(list(data), recorder)
+        byte_cycles = len(data)
+        vectors, limit = stream_for(strided, data)
+        strided_recorder = ReportRecorder(keep_events=True,
+                                          position_limit=limit)
+        BitsetEngine(strided).run(vectors, strided_recorder)
+        vector_cycles = len(vectors)
 
-    if config is None:
-        config = SunderConfig(rate_nibbles=rate)
-    placement = place(strided, config)
-    fills = pu_fill_cycles_from_events(strided_recorder.events, placement)
-
-    no_fifo = ReportingPerfModel(_with_fifo(config, False)).evaluate(
-        fills, vector_cycles, capacity_scale=scale
-    )
-    fifo = ReportingPerfModel(_with_fifo(config, True)).evaluate(
-        fills, vector_cycles, capacity_scale=scale
-    )
+    # --- report-drain: replay the profiles through the buffer models ---
+    with trace_span("table4.report_drain", benchmark=instance.name):
+        report_ids = [state.id for state in automaton.report_states()]
+        ap = ApReportingModel(rad=False, scale=scale).evaluate(
+            recorder.events, report_ids, byte_cycles
+        )
+        rad = ApReportingModel(rad=True, scale=scale).evaluate(
+            recorder.events, report_ids, byte_cycles
+        )
+        fills = pu_fill_cycles_from_events(strided_recorder.events, placement)
+        no_fifo = ReportingPerfModel(_with_fifo(config, False)).evaluate(
+            fills, vector_cycles, capacity_scale=scale
+        )
+        fifo = ReportingPerfModel(_with_fifo(config, True)).evaluate(
+            fills, vector_cycles, capacity_scale=scale
+        )
 
     paper = instance.paper_row and PAPER_TABLE4.get(instance.name, {})
     return {
@@ -148,6 +153,7 @@ def render(rows, averages):
     )
 
 
+@instrumented_experiment("table4")
 def main(scale=0.01, seed=0, names=None):
     """Run and print."""
     rows, averages = run(scale=scale, seed=seed, names=names)

@@ -1,6 +1,7 @@
 """Experiment T5 — Table 5 (pipeline delays and operating frequencies)."""
 
 from ..hwmodel.pipeline import table5_rows
+from ..obs import instrumented_experiment
 from .formatting import format_table
 
 COLUMNS = [
@@ -36,6 +37,7 @@ def render(rows):
     return format_table(rows, columns, title="Table 5: pipeline frequencies")
 
 
+@instrumented_experiment("table5")
 def main():
     """Run and print."""
     rows = run()

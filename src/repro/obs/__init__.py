@@ -1,0 +1,159 @@
+"""repro.obs — unified telemetry: metrics, span tracing, profiling hooks.
+
+Three pillars, all dependency-free:
+
+- **Metrics** (:mod:`repro.obs.metrics`): :class:`Counter`,
+  :class:`Gauge`, :class:`Histogram` with labelled children, collected
+  in a :class:`MetricsRegistry` (process-global default:
+  :data:`REGISTRY`) with Prometheus-text and JSON exposition.
+- **Span tracing** (:mod:`repro.obs.spans`): :func:`trace_span` yields
+  nested wall-time spans per thread; a :class:`TraceCollector` exports
+  them as JSONL or a Chrome ``trace_event`` file (Perfetto-loadable).
+- **Hooks**: the simulator stack (``BitsetEngine.run``,
+  ``SunderDevice``, the transform pipeline, every experiment entry
+  point) is instrumented *default-on but near-free* — with no collector
+  attached each hook site costs one attribute check.
+
+Usage::
+
+    from repro import obs
+
+    trace = obs.TraceCollector()
+    with obs.collecting(trace=trace):
+        with obs.trace_span("my.workload", name="snort"):
+            device.run(vectors)
+        print(obs.OBS.registry.render_text())
+    trace.write_chrome_trace("trace.json")
+
+or from the shell: ``python -m repro profile experiment table4
+--metrics-out m.json --trace-out t.json``.
+"""
+
+import functools
+import time
+from contextlib import contextmanager
+
+from ..errors import ObservabilityError
+from .instruments import Instruments, instruments_for
+from .metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .schema import validate_snapshot
+from .spans import NULL_SPAN, Span, TraceCollector
+
+
+class ObservabilityState:
+    """The process-wide collector switchboard.
+
+    ``active`` is the single flag every hook site checks; the other
+    fields are only read once a hook finds the state active.
+    """
+
+    __slots__ = ("active", "registry", "trace", "instruments")
+
+    def __init__(self):
+        self.active = False
+        self.registry = None
+        self.trace = None
+        self.instruments = None
+
+
+#: The one switchboard the built-in hooks consult.
+OBS = ObservabilityState()
+
+
+def attach(registry=None, trace=None):
+    """Start collecting: hooks record into ``registry`` (default:
+    :data:`REGISTRY`) and, if given, spans into ``trace``.
+
+    Returns the registry in use.  Attaching while already attached
+    raises — profiling sessions do not nest.
+    """
+    if OBS.active:
+        raise ObservabilityError("a collector is already attached")
+    if registry is None:
+        registry = REGISTRY
+    OBS.registry = registry
+    OBS.trace = trace
+    OBS.instruments = instruments_for(registry)
+    OBS.active = True
+    return registry
+
+
+def detach():
+    """Stop collecting; hook sites revert to the single cheap check."""
+    OBS.active = False
+    OBS.registry = None
+    OBS.trace = None
+    OBS.instruments = None
+
+
+@contextmanager
+def collecting(registry=None, trace=None):
+    """``attach()``/``detach()`` as a context manager; yields the state."""
+    attach(registry=registry, trace=trace)
+    try:
+        yield OBS
+    finally:
+        detach()
+
+
+def trace_span(name, **attrs):
+    """Open a nested wall-time span, or a no-op when nothing collects.
+
+    Near-free when unattached: one attribute check, no allocation.
+    """
+    if not OBS.active or OBS.trace is None:
+        return NULL_SPAN
+    return OBS.trace.span(name, **attrs)
+
+
+def instrumented_experiment(name):
+    """Decorator for experiment entry points: one span + run metrics.
+
+    Applied to every ``experiments.table*/figure*`` ``main``; when no
+    collector is attached the wrapper adds a single attribute check.
+    """
+    def decorate(func):
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            if not OBS.active:
+                return func(*args, **kwargs)
+            instruments = OBS.instruments
+            start = time.perf_counter()
+            with trace_span("experiment." + name):
+                result = func(*args, **kwargs)
+            instruments.experiment_runs.labels(experiment=name).inc()
+            instruments.experiment_seconds.labels(experiment=name).observe(
+                time.perf_counter() - start)
+            return result
+        return wrapper
+    return decorate
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instruments",
+    "MetricsRegistry",
+    "OBS",
+    "ObservabilityError",
+    "ObservabilityState",
+    "REGISTRY",
+    "Span",
+    "TraceCollector",
+    "attach",
+    "collecting",
+    "detach",
+    "instrumented_experiment",
+    "instruments_for",
+    "trace_span",
+    "validate_snapshot",
+]

@@ -1,0 +1,107 @@
+"""The metric catalogue: every hot-path instrument, pre-registered.
+
+One :class:`Instruments` bundle is built per registry the first time a
+collector is attached to it, so hook sites grab ready-made handles
+instead of doing name lookups per call.  The catalogue below is the
+documented contract (see ``docs/observability.md``); the schema smoke
+check and ``tests/test_obs.py`` both pin it.
+"""
+
+#: Buckets for per-cycle active-state counts (powers of two up to one
+#: full subarray's 256 states).
+ACTIVE_STATE_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: Buckets for wall-time stage/run durations, in seconds.
+SECONDS_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
+                   10.0, 30.0, 60.0)
+#: Buckets for transform blow-up ratios (output/input states).
+RATIO_BUCKETS = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0)
+
+
+class Instruments:
+    """Handles for every metric the built-in hooks record."""
+
+    def __init__(self, registry):
+        counter = registry.counter
+        gauge = registry.gauge
+        histogram = registry.histogram
+
+        # --- functional engine (repro.sim.engine) ---------------------
+        self.engine_runs = counter(
+            "repro_engine_runs_total",
+            "Completed BitsetEngine.run invocations.", ("engine",))
+        self.engine_cycles = counter(
+            "repro_engine_cycles_total",
+            "Vector cycles executed by the functional engine.", ("engine",))
+        self.engine_reports = counter(
+            "repro_engine_reports_total",
+            "Report events recorded by the functional engine.", ("engine",))
+        self.engine_active_states = histogram(
+            "repro_engine_active_states",
+            "Active states per executed cycle.", ("engine",),
+            buckets=ACTIVE_STATE_BUCKETS)
+        self.engine_run_seconds = histogram(
+            "repro_engine_run_seconds",
+            "Wall time of one engine run.", ("engine",),
+            buckets=SECONDS_BUCKETS)
+
+        # --- Sunder device (repro.core.device) ------------------------
+        self.device_reconfigurations = counter(
+            "repro_device_reconfigurations_total",
+            "SunderDevice.configure calls (automaton programmings).")
+        self.device_cycles = counter(
+            "repro_device_cycles_total",
+            "Vector cycles streamed through SunderDevice.run.")
+        self.device_stall_cycles = counter(
+            "repro_device_stall_cycles_total",
+            "Reporting stall cycles charged during SunderDevice.run.")
+        self.device_fifo_drained = counter(
+            "repro_device_fifo_drained_entries_total",
+            "Report entries drained in the background by the FIFO strategy.")
+        self.device_flushes = counter(
+            "repro_device_flushes_total",
+            "Stop-and-flush events across all reporting regions.")
+        self.device_run_seconds = histogram(
+            "repro_device_run_seconds",
+            "Wall time of one SunderDevice.run.", buckets=SECONDS_BUCKETS)
+        self.device_configured_states = gauge(
+            "repro_device_configured_states",
+            "States placed on each cluster by the last configure().",
+            ("cluster",))
+        self.device_cluster_utilization = gauge(
+            "repro_device_cluster_utilization",
+            "Fraction of each cluster's state columns in use.", ("cluster",))
+
+        # --- transform pipeline (repro.transform) ---------------------
+        self.transform_runs = counter(
+            "repro_transform_runs_total",
+            "Completed transformation stages.", ("stage",))
+        self.transform_stage_seconds = histogram(
+            "repro_transform_stage_seconds",
+            "Wall time per transformation stage.", ("stage",),
+            buckets=SECONDS_BUCKETS)
+        self.transform_state_ratio = histogram(
+            "repro_transform_state_ratio",
+            "Output/input state ratio per transformation stage.", ("stage",),
+            buckets=RATIO_BUCKETS)
+        self.transform_transition_ratio = histogram(
+            "repro_transform_transition_ratio",
+            "Output/input transition ratio per transformation stage.",
+            ("stage",), buckets=RATIO_BUCKETS)
+
+        # --- experiment harnesses (repro.experiments) -----------------
+        self.experiment_runs = counter(
+            "repro_experiment_runs_total",
+            "Experiment entry-point invocations.", ("experiment",))
+        self.experiment_seconds = histogram(
+            "repro_experiment_seconds",
+            "Wall time per experiment entry point.", ("experiment",),
+            buckets=SECONDS_BUCKETS)
+
+
+def instruments_for(registry):
+    """The (cached) :class:`Instruments` bundle of one registry."""
+    bundle = getattr(registry, "_repro_instruments", None)
+    if bundle is None:
+        bundle = Instruments(registry)
+        registry._repro_instruments = bundle
+    return bundle

@@ -1,0 +1,111 @@
+"""Hand-rolled validator for the metrics-snapshot JSON exposition.
+
+The snapshot format (``MetricsRegistry.snapshot()``) is a public,
+machine-consumed contract — the ``make profile-smoke`` check and the
+tier-2 benchmark suite validate emitted files against this schema so any
+format drift fails fast, without pulling in a jsonschema dependency.
+"""
+
+import re
+
+from ..errors import ObservabilityError
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_TYPES = ("counter", "gauge", "histogram")
+
+
+def _fail(path, message):
+    raise ObservabilityError("metrics snapshot invalid at %s: %s"
+                             % (path, message))
+
+
+def _require_number(value, path):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        _fail(path, "expected a number, got %r" % (value,))
+
+
+def validate_snapshot(snapshot):
+    """Validate a snapshot dict; raises :class:`ObservabilityError`.
+
+    Returns the snapshot unchanged so callers can chain.
+    """
+    if not isinstance(snapshot, dict):
+        _fail("$", "expected an object, got %r" % type(snapshot).__name__)
+    if snapshot.get("version") != 1:
+        _fail("$.version", "expected 1, got %r" % (snapshot.get("version"),))
+    metrics = snapshot.get("metrics")
+    if not isinstance(metrics, list):
+        _fail("$.metrics", "expected a list")
+    seen = set()
+    for m_index, metric in enumerate(metrics):
+        path = "$.metrics[%d]" % m_index
+        if not isinstance(metric, dict):
+            _fail(path, "expected an object")
+        name = metric.get("name")
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            _fail(path + ".name", "bad metric name %r" % (name,))
+        if name in seen:
+            _fail(path + ".name", "duplicate metric %r" % (name,))
+        seen.add(name)
+        kind = metric.get("type")
+        if kind not in _TYPES:
+            _fail(path + ".type", "expected one of %r, got %r"
+                  % (_TYPES, kind))
+        if not isinstance(metric.get("help", ""), str):
+            _fail(path + ".help", "expected a string")
+        samples = metric.get("samples")
+        if not isinstance(samples, list):
+            _fail(path + ".samples", "expected a list")
+        for s_index, sample in enumerate(samples):
+            _validate_sample(sample, kind,
+                             "%s.samples[%d]" % (path, s_index))
+    return snapshot
+
+
+def _validate_sample(sample, kind, path):
+    if not isinstance(sample, dict):
+        _fail(path, "expected an object")
+    labels = sample.get("labels")
+    if not isinstance(labels, dict):
+        _fail(path + ".labels", "expected an object")
+    for key, value in labels.items():
+        if not isinstance(key, str) or not isinstance(value, str):
+            _fail(path + ".labels", "labels must map str -> str")
+    if kind in ("counter", "gauge"):
+        _require_number(sample.get("value"), path + ".value")
+        if kind == "counter" and sample["value"] < 0:
+            _fail(path + ".value", "counter is negative")
+        return
+    # histogram
+    count = sample.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        _fail(path + ".count", "expected a non-negative integer")
+    _require_number(sample.get("sum"), path + ".sum")
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list) or not buckets:
+        _fail(path + ".buckets", "expected a non-empty list")
+    previous_bound = None
+    previous_count = 0
+    for b_index, bucket in enumerate(buckets):
+        bucket_path = "%s.buckets[%d]" % (path, b_index)
+        if not isinstance(bucket, dict):
+            _fail(bucket_path, "expected an object")
+        bound = bucket.get("le")
+        last = b_index == len(buckets) - 1
+        if last:
+            if bound != "+Inf":
+                _fail(bucket_path + ".le", "last bucket must be '+Inf'")
+        else:
+            _require_number(bound, bucket_path + ".le")
+            if previous_bound is not None and bound <= previous_bound:
+                _fail(bucket_path + ".le", "bounds must strictly increase")
+            previous_bound = bound
+        bucket_count = bucket.get("count")
+        if (not isinstance(bucket_count, int) or isinstance(bucket_count, bool)
+                or bucket_count < previous_count):
+            _fail(bucket_path + ".count",
+                  "cumulative counts must be non-decreasing integers")
+        previous_count = bucket_count
+    if previous_count != count:
+        _fail(path, "+Inf bucket count %d != sample count %d"
+              % (previous_count, count))

@@ -17,8 +17,11 @@ Cycle semantics (matching VASim and the paper's Figure 1):
 3. every active reporting state emits one report per report offset.
 """
 
+from time import perf_counter
+
 from ..errors import SimulationError
 from ..automata.ste import StartKind
+from ..obs import OBS, trace_span
 from .reports import ReportRecorder
 
 
@@ -154,9 +157,35 @@ class BitsetEngine:
         """
         if recorder is None:
             recorder = ReportRecorder(position_limit=position_limit)
+        if OBS.active:  # single attribute check when no collector attached
+            return self._run_observed(stream, recorder)
         self.reset()
         for vector in _normalize_stream(self.automaton, stream):
             self.step(vector, recorder)
+        return recorder
+
+    def _run_observed(self, stream, recorder):
+        """`run` with the telemetry hooks live (collector attached)."""
+        instruments = OBS.instruments
+        reports_before = recorder.total_reports
+        vectors = _normalize_stream(self.automaton, stream)
+        with trace_span("engine.run", engine="bitset",
+                        automaton=self.automaton.name,
+                        cycles=len(vectors)):
+            start = perf_counter()
+            self.reset()
+            for vector in vectors:
+                self.step(vector, recorder)
+            elapsed = perf_counter() - start
+        instruments.engine_runs.labels(engine="bitset").inc()
+        instruments.engine_cycles.labels(engine="bitset").inc(len(vectors))
+        instruments.engine_reports.labels(engine="bitset").inc(
+            recorder.total_reports - reports_before)
+        instruments.engine_run_seconds.labels(engine="bitset").observe(elapsed)
+        active_histogram = instruments.engine_active_states.labels(
+            engine="bitset")
+        for count in self.active_count_history:
+            active_histogram.observe(count)
         return recorder
 
 

@@ -7,12 +7,37 @@ nibble decomposition, then temporal striding to the requested rate — and
 paper reports in Table 3.
 """
 
+from time import perf_counter
+
 from ..errors import TransformError
+from ..obs import OBS, trace_span
 from .nibble import to_nibbles
 from .striding import stride
 
 #: Processing rates Sunder supports, in nibbles per cycle.
 SUPPORTED_RATES = (1, 2, 4)
+
+
+def _run_stage(stage, func, source):
+    """Run one pipeline stage, recording span + metrics when collecting."""
+    if not OBS.active:  # single attribute check when no collector attached
+        return func()
+    states_in = max(1, len(source))
+    transitions_in = max(1, source.num_transitions())
+    with trace_span("transform." + stage, automaton=source.name,
+                    states_in=len(source)) as span:
+        start = perf_counter()
+        result = func()
+        elapsed = perf_counter() - start
+        span.set_attr(states_out=len(result))
+    instruments = OBS.instruments
+    instruments.transform_runs.labels(stage=stage).inc()
+    instruments.transform_stage_seconds.labels(stage=stage).observe(elapsed)
+    instruments.transform_state_ratio.labels(stage=stage).observe(
+        len(result) / states_in)
+    instruments.transform_transition_ratio.labels(stage=stage).observe(
+        result.num_transitions() / transitions_in)
+    return result
 
 
 def to_rate(automaton, nibbles_per_cycle, minimized=True):
@@ -27,10 +52,16 @@ def to_rate(automaton, nibbles_per_cycle, minimized=True):
             "unsupported rate %r (Sunder supports %s nibbles/cycle)"
             % (nibbles_per_cycle, list(SUPPORTED_RATES))
         )
-    nibble_automaton = to_nibbles(automaton, minimized=minimized)
+    nibble_automaton = _run_stage(
+        "nibble", lambda: to_nibbles(automaton, minimized=minimized),
+        automaton)
     if nibbles_per_cycle == 1:
         return nibble_automaton
-    strided = stride(nibble_automaton, nibbles_per_cycle, minimized=minimized)
+    strided = _run_stage(
+        "stride",
+        lambda: stride(nibble_automaton, nibbles_per_cycle,
+                       minimized=minimized),
+        nibble_automaton)
     strided.name = "%s.%dnibble" % (automaton.name, nibbles_per_cycle)
     return strided
 

@@ -43,6 +43,14 @@ class TestMatch:
         out = capsys.readouterr().out
         assert out.splitlines() == ["8\tneedle", "18\tneedle"]
 
+    def test_byte_offsets_identical_across_rates(self, capsys):
+        # positions are derived from the machine geometry, not hardcoded
+        for rate in ("1", "2", "4"):
+            assert main(["match", "needle", "--text", "xx needle xx needle",
+                         "--rate", rate]) == 0
+            out = capsys.readouterr().out
+            assert out.splitlines() == ["8\tneedle", "18\tneedle"], rate
+
 
 class TestOtherCommands:
     def test_transform(self, capsys):
@@ -90,3 +98,60 @@ class TestPlanAndCompare:
         path.write_bytes(b"needle " * 30)
         assert main(["compare", "needle", "--file", str(path)]) == 0
         assert "reporting overhead" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_workload_writes_metrics_and_trace(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_snapshot
+
+        metrics = tmp_path / "m.json"
+        trace = tmp_path / "t.json"
+        assert main(["profile", "workload", "Bro217", "--scale", "0.002",
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "report_cycle_pct" in captured.out
+        assert "profile:" in captured.err
+        snapshot = json.loads(metrics.read_text())
+        validate_snapshot(snapshot)
+        names = [m["name"] for m in snapshot["metrics"]]
+        assert "repro_engine_cycles_total" in names
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e["name"] == "cli.workload" for e in events)
+
+    def test_profile_without_flags_prints_exposition(self, capsys):
+        assert main(["profile", "experiment", "table5"]) == 0
+        captured = capsys.readouterr()
+        assert "# TYPE repro_experiment_runs_total counter" in captured.err
+        assert 'repro_experiment_runs_total{experiment="table5"} 1' \
+            in captured.err
+
+    def test_profile_requires_a_command(self, capsys):
+        assert main(["profile"]) == 2
+        assert "requires a command" in capsys.readouterr().err
+
+    def test_profile_cannot_nest(self, capsys):
+        assert main(["profile", "profile", "experiment", "table5"]) == 2
+        assert "cannot wrap itself" in capsys.readouterr().err
+
+    def test_flags_work_without_profile_wrapper(self, tmp_path):
+        import json
+
+        from repro.obs import validate_snapshot
+
+        metrics = tmp_path / "m.json"
+        assert main(["match", "ab", "--text", "xxab",
+                     "--metrics-out", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        validate_snapshot(snapshot)
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        cycles = by_name["repro_device_cycles_total"]["samples"][0]["value"]
+        assert cycles > 0
+
+    def test_detaches_after_run(self):
+        from repro.obs import OBS
+
+        assert main(["profile", "experiment", "table5"]) == 0
+        assert not OBS.active

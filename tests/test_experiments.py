@@ -132,4 +132,7 @@ class TestRegistry:
         assert set(record) == {"claim", "paper", "measured", "band",
                                "verdict"}
         assert scorecard.render(claims)
-        assert scorecard.to_json(claims).startswith("[")
+        import json
+        payload = json.loads(scorecard.to_json(claims))
+        assert len(payload["claims"]) == len(claims)
+        assert payload["metrics"] is None  # no collector attached
