@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -13,6 +13,9 @@ test:
 
 bench:
 	REPRO_BENCH_SCALE=$(SCALE) $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-engine:
+	$(PYTHON) scripts/bench_engine.py --scale $(SCALE) --out BENCH_engine.json
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py $(SCALE)

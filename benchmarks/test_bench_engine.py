@@ -1,0 +1,44 @@
+"""Tier-2 smoke: the engine microbenchmark payload validates its schema.
+
+Mirrors ``make bench-engine`` at a tiny scale so drift in the
+``BENCH_engine.json`` trajectory format (or a broken kernel/cache
+configuration) fails fast, the same way ``test_profile_smoke`` pins the
+metrics exposition.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_engine  # noqa: E402
+
+
+def test_bench_engine_payload_schema(bench_scale, tmp_path):
+    out = tmp_path / "BENCH_engine.json"
+    code = bench_engine.main([
+        "--scale", str(min(bench_scale, 0.003)),
+        "--repeats", "1",
+        "--workers", "2",
+        "--workloads", "Bro217", "Levenshtein",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_engine.validate_payload(payload)
+    assert [row["name"] for row in payload["workloads"]] == [
+        "Bro217", "Levenshtein"]
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_engine.validate_payload({"schema": "something-else"})
+    payload = bench_engine.run_suite(scale=0.002, repeats=1, workers=1,
+                                     workloads=("Levenshtein",))
+    bench_engine.validate_payload(payload)
+    broken = dict(payload, workloads=[])
+    with pytest.raises(ValueError):
+        bench_engine.validate_payload(broken)

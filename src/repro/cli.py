@@ -14,7 +14,9 @@ Commands
 
 ``match``, ``experiment``, and ``workload`` additionally accept
 ``--metrics-out metrics.json`` / ``--trace-out trace.json`` to export the
-telemetry gathered during the run (see docs/observability.md).
+telemetry gathered during the run (see docs/observability.md).  The
+workload-driven experiments accept ``--workers N`` to fan benchmark
+evaluations across processes (see docs/performance.md).
 """
 
 import argparse
@@ -88,12 +90,22 @@ def cmd_transform(args):
     return 0
 
 
+#: Experiments whose entry points take workload scale/seed parameters.
+_SCALED_EXPERIMENTS = ("table1", "table3", "table4", "figure8", "scorecard")
+#: Experiments whose entry points fan out through ParallelRunner.
+_PARALLEL_EXPERIMENTS = ("table1", "table3", "table4",
+                         "figure8", "figure9", "figure10")
+
+
 def cmd_experiment(args):
     module = experiments.ALL_EXPERIMENTS[args.name]
-    if args.name in ("table1", "table3", "table4", "figure8", "scorecard"):
-        module.main(scale=args.scale, seed=args.seed)
-    else:
-        module.main()
+    kwargs = {}
+    if args.name in _SCALED_EXPERIMENTS:
+        kwargs["scale"] = args.scale
+        kwargs["seed"] = args.seed
+    if args.name in _PARALLEL_EXPERIMENTS:
+        kwargs["workers"] = args.workers
+    module.main(**kwargs)
     return 0
 
 
@@ -269,6 +281,10 @@ def build_parser():
         "name", choices=sorted(experiments.ALL_EXPERIMENTS))
     experiment_parser.add_argument("--scale", type=float, default=0.01)
     experiment_parser.add_argument("--seed", type=int, default=0)
+    experiment_parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="fan benchmark evaluations across N processes "
+             "(0 = all cores; default: serial)")
     _add_observability_flags(experiment_parser)
     experiment_parser.set_defaults(func=cmd_experiment)
 

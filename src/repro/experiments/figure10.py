@@ -11,6 +11,7 @@ without summarization, 1.4x with 16-row-batch summarization.
 from ..core.config import SunderConfig
 from ..core.perfmodel import sensitivity_slowdown
 from ..obs import instrumented_experiment
+from ..sim.parallel import ParallelRunner
 from .formatting import format_table
 
 #: The sweep points shown in the paper's figure.
@@ -23,22 +24,30 @@ COLUMNS = [
 ]
 
 
-def run(sweep=SWEEP_PCTS, config=None):
-    """Evaluate the sweep; returns result rows."""
+def _evaluate_job(job):
+    """One sweep point's row from a picklable (pct, config) spec."""
+    pct, config = job
+    fraction = pct / 100.0
+    return {
+        "report_cycle_pct": pct,
+        "slowdown": sensitivity_slowdown(fraction, summarize=False,
+                                         config=config),
+        "slowdown_summarized": sensitivity_slowdown(
+            fraction, summarize=True, config=config
+        ),
+    }
+
+
+def run(sweep=SWEEP_PCTS, config=None, workers=1):
+    """Evaluate the sweep; returns result rows.
+
+    ``workers`` fans the sweep points out across a process pool
+    (0 = all cores); rows stay in sweep order at any worker count.
+    """
     if config is None:
         config = SunderConfig(report_bits=12)
-    rows = []
-    for pct in sweep:
-        fraction = pct / 100.0
-        rows.append({
-            "report_cycle_pct": pct,
-            "slowdown": sensitivity_slowdown(fraction, summarize=False,
-                                             config=config),
-            "slowdown_summarized": sensitivity_slowdown(
-                fraction, summarize=True, config=config
-            ),
-        })
-    return rows
+    jobs = [(pct, config) for pct in sweep]
+    return ParallelRunner(workers).map(_evaluate_job, jobs)
 
 
 def render(rows):
@@ -51,8 +60,8 @@ def render(rows):
 
 
 @instrumented_experiment("figure10")
-def main():
+def main(workers=1):
     """Run and print."""
-    rows = run()
+    rows = run(workers=workers)
     print(render(rows))
     return rows

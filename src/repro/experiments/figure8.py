@@ -33,10 +33,11 @@ PAPER_SPEEDUPS = {
 }
 
 
-def run(scale=0.01, seed=0, names=None, table4_rows=None):
+def run(scale=0.01, seed=0, names=None, table4_rows=None, workers=1):
     """Compute Figure 8's bars (running Table 4 first if not supplied)."""
     if table4_rows is None:
-        table4_rows, _ = table4.run(scale=scale, seed=seed, names=names)
+        table4_rows, _ = table4.run(scale=scale, seed=seed, names=names,
+                                    workers=workers)
     count = len(table4_rows)
     sunder = sum(r["sunder_fifo_overhead"] for r in table4_rows) / count
     ap = sum(r["ap_overhead"] for r in table4_rows) / count
@@ -59,8 +60,8 @@ def render(rows):
 
 
 @instrumented_experiment("figure8")
-def main(scale=0.01, seed=0):
+def main(scale=0.01, seed=0, workers=1):
     """Run and print."""
-    rows = run(scale=scale, seed=seed)
+    rows = run(scale=scale, seed=seed, workers=workers)
     print(render(rows))
     return rows

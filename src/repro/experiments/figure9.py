@@ -21,9 +21,13 @@ COLUMNS = [
 PAPER_RATIOS = {"Sunder": 1.0, "CA": 1.5, "Impala": 1.6, "AP": 2.1}
 
 
-def run(num_states=32768):
-    """Compute the per-architecture area breakdown."""
-    rows = figure9_breakdown(num_states)
+def run(num_states=32768, workers=1):
+    """Compute the per-architecture area breakdown.
+
+    ``workers`` fans the architectures out across a process pool
+    (0 = all cores); output is identical at any worker count.
+    """
+    rows = figure9_breakdown(num_states, workers=workers)
     for row in rows:
         row["paper_ratio"] = PAPER_RATIOS.get(row["architecture"])
     return rows
@@ -54,8 +58,8 @@ def render(rows):
 
 
 @instrumented_experiment("figure9")
-def main(num_states=32768):
+def main(num_states=32768, workers=1):
     """Run and print."""
-    rows = run(num_states)
+    rows = run(num_states, workers=workers)
     print(render(rows))
     return rows

@@ -6,6 +6,7 @@ The dynamic percentages should track the paper closely (they are the
 generators' calibration targets); absolute counts scale with the input.
 """
 
+from ..sim.parallel import ParallelRunner
 from ..workloads.registry import BENCHMARK_NAMES, generate
 from ..obs import instrumented_experiment
 from .formatting import format_table
@@ -26,20 +27,29 @@ COLUMNS = [
 ]
 
 
-def run(scale=0.02, seed=0, names=None):
-    """Simulate the suite; returns the list of result rows."""
-    rows = []
-    for name in (names if names is not None else BENCHMARK_NAMES):
-        instance = generate(name, scale=scale, seed=seed)
-        row = instance.measured_behavior()
-        row.pop("recorder", None)
-        row["paper_report_state_pct"] = instance.paper_row.get("report_state_pct")
-        row["paper_report_cycle_pct"] = instance.paper_row.get("report_cycle_pct")
-        row["paper_reports_per_report_cycle"] = instance.paper_row.get(
-            "reports_per_report_cycle"
-        )
-        rows.append(row)
-    return rows
+def _evaluate_job(job):
+    """One benchmark's Table 1 row from a picklable (name, scale, seed)."""
+    name, scale, seed = job
+    instance = generate(name, scale=scale, seed=seed)
+    row = instance.measured_behavior()
+    row.pop("recorder", None)
+    row["paper_report_state_pct"] = instance.paper_row.get("report_state_pct")
+    row["paper_report_cycle_pct"] = instance.paper_row.get("report_cycle_pct")
+    row["paper_reports_per_report_cycle"] = instance.paper_row.get(
+        "reports_per_report_cycle"
+    )
+    return row
+
+
+def run(scale=0.02, seed=0, names=None, workers=1):
+    """Simulate the suite; returns the list of result rows.
+
+    ``workers`` fans the per-benchmark simulations out across a process
+    pool (0 = all cores); rows come back in suite order regardless.
+    """
+    chosen = names if names is not None else BENCHMARK_NAMES
+    jobs = [(name, scale, seed) for name in chosen]
+    return ParallelRunner(workers).map(_evaluate_job, jobs)
 
 
 def render(rows):
@@ -48,8 +58,8 @@ def render(rows):
 
 
 @instrumented_experiment("table1")
-def main(scale=0.02, seed=0):
+def main(scale=0.02, seed=0, workers=1):
     """Run and print (entry point used by the benchmark harness)."""
-    rows = run(scale=scale, seed=seed)
+    rows = run(scale=scale, seed=seed, workers=workers)
     print(render(rows))
     return rows

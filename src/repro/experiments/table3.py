@@ -5,6 +5,7 @@ processing and report the state and transition counts normalized to the
 original — the cost side of the throughput/density trade-off.
 """
 
+from ..sim.parallel import ParallelRunner
 from ..transform.pipeline import transform_overhead
 from ..workloads.registry import BENCHMARK_NAMES, generate
 from ..obs import instrumented_experiment
@@ -20,26 +21,36 @@ COLUMNS = [
     ("transitions_4", "Trans x4"),
 ]
 
-def run(scale=0.01, seed=0, names=None, rates=(1, 2, 4)):
-    """Measure transformation overheads; returns (rows, averages)."""
-    rows = []
-    sums = {rate: {"states": 0.0, "transitions": 0.0} for rate in rates}
+def _evaluate_job(job):
+    """One benchmark's overhead row from a picklable (name, scale, seed,
+    rates) spec."""
+    name, scale, seed, rates = job
+    instance = generate(name, scale=scale, seed=seed)
+    overhead = transform_overhead(instance.automaton, rates=rates)
+    row = {"benchmark": name}
+    for rate in rates:
+        row["states_%d" % rate] = overhead[rate]["state_ratio"]
+        row["transitions_%d" % rate] = overhead[rate]["transition_ratio"]
+    return row
+
+
+def run(scale=0.01, seed=0, names=None, rates=(1, 2, 4), workers=1):
+    """Measure transformation overheads; returns (rows, averages).
+
+    ``workers`` fans the per-benchmark transforms out across a process
+    pool (0 = all cores); row order is the suite order regardless.
+    """
     chosen = names if names is not None else BENCHMARK_NAMES
-    for name in chosen:
-        instance = generate(name, scale=scale, seed=seed)
-        overhead = transform_overhead(instance.automaton, rates=rates)
-        row = {"benchmark": name}
-        for rate in rates:
-            row["states_%d" % rate] = overhead[rate]["state_ratio"]
-            row["transitions_%d" % rate] = overhead[rate]["transition_ratio"]
-            sums[rate]["states"] += overhead[rate]["state_ratio"]
-            sums[rate]["transitions"] += overhead[rate]["transition_ratio"]
-        rows.append(row)
+    rates = tuple(rates)
+    jobs = [(name, scale, seed, rates) for name in chosen]
+    rows = ParallelRunner(workers).map(_evaluate_job, jobs)
     count = len(rows)
     averages = {"benchmark": "Average"}
     for rate in rates:
-        averages["states_%d" % rate] = sums[rate]["states"] / count
-        averages["transitions_%d" % rate] = sums[rate]["transitions"] / count
+        averages["states_%d" % rate] = (
+            sum(row["states_%d" % rate] for row in rows) / count)
+        averages["transitions_%d" % rate] = (
+            sum(row["transitions_%d" % rate] for row in rows) / count)
     return rows, averages
 
 
@@ -53,8 +64,8 @@ def render(rows, averages):
 
 
 @instrumented_experiment("table3")
-def main(scale=0.01, seed=0, names=None):
+def main(scale=0.01, seed=0, names=None, workers=1):
     """Run and print."""
-    rows, averages = run(scale=scale, seed=seed, names=names)
+    rows, averages = run(scale=scale, seed=seed, names=names, workers=workers)
     print(render(rows, averages))
     return rows, averages

@@ -21,6 +21,7 @@ from ..core.mapping import place
 from ..core.perfmodel import ReportingPerfModel, pu_fill_cycles_from_events
 from ..sim.engine import BitsetEngine
 from ..sim.inputs import stream_for
+from ..sim.parallel import ParallelRunner
 from ..sim.reports import ReportRecorder
 from ..transform.pipeline import to_rate
 from ..workloads.registry import BENCHMARK_NAMES, PAPER_TABLE4, generate
@@ -120,13 +121,24 @@ def _with_fifo(config, fifo):
     )
 
 
-def run(scale=0.01, seed=0, names=None, rate=4):
-    """Evaluate the suite; returns (rows, averages)."""
-    rows = []
+def _evaluate_job(job):
+    """One benchmark's Table 4 row from a picklable (name, scale, seed,
+    rate) spec."""
+    name, scale, seed, rate = job
+    instance = generate(name, scale=scale, seed=seed)
+    return evaluate_benchmark(instance, rate=rate, scale=scale)
+
+
+def run(scale=0.01, seed=0, names=None, rate=4, workers=1):
+    """Evaluate the suite; returns (rows, averages).
+
+    ``workers`` fans the per-benchmark simulate+replay pipelines out
+    across a process pool (0 = all cores); row order is the suite order
+    regardless.
+    """
     chosen = names if names is not None else BENCHMARK_NAMES
-    for name in chosen:
-        instance = generate(name, scale=scale, seed=seed)
-        rows.append(evaluate_benchmark(instance, rate=rate, scale=scale))
+    jobs = [(name, scale, seed, rate) for name in chosen]
+    rows = ParallelRunner(workers).map(_evaluate_job, jobs)
     averages = {
         "benchmark": "Average",
         "sunder_overhead": _mean(rows, "sunder_overhead"),
@@ -154,8 +166,8 @@ def render(rows, averages):
 
 
 @instrumented_experiment("table4")
-def main(scale=0.01, seed=0, names=None):
+def main(scale=0.01, seed=0, names=None, workers=1):
     """Run and print."""
-    rows, averages = run(scale=scale, seed=seed, names=names)
+    rows, averages = run(scale=scale, seed=seed, names=names, workers=workers)
     print(render(rows, averages))
     return rows, averages

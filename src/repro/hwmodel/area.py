@@ -143,16 +143,33 @@ def throughput_per_area(num_states=32768):
     return rows
 
 
-def figure9_breakdown(num_states=32768):
-    """Area breakdown for every architecture, plus ratios to Sunder."""
-    sunder = sunder_area_um2(num_states)
-    rows = {
-        "Sunder": sunder,
-        "CA": ca_area_um2(num_states),
-        "Impala": impala_area_um2(num_states),
-        "AP": ap_area_um2(num_states),
-    }
-    sunder_total = sum(sunder.values())
+#: Figure 9's architectures, in presentation order, with their models.
+_AREA_MODELS = {
+    "Sunder": sunder_area_um2,
+    "CA": ca_area_um2,
+    "Impala": impala_area_um2,
+    "AP": ap_area_um2,
+}
+
+
+def _breakdown_job(job):
+    """One architecture's component areas from a picklable (name, states)."""
+    name, num_states = job
+    return name, _AREA_MODELS[name](num_states)
+
+
+def figure9_breakdown(num_states=32768, workers=1):
+    """Area breakdown for every architecture, plus ratios to Sunder.
+
+    ``workers`` fans the per-architecture evaluations out through
+    :class:`repro.sim.parallel.ParallelRunner` (0 = all cores); row
+    order and values are identical at any worker count.
+    """
+    from ..sim.parallel import ParallelRunner
+
+    jobs = [(name, num_states) for name in _AREA_MODELS]
+    rows = dict(ParallelRunner(workers).map(_breakdown_job, jobs))
+    sunder_total = sum(rows["Sunder"].values())
     table = []
     for name, parts in rows.items():
         total = sum(parts.values())

@@ -43,6 +43,20 @@ class Instruments:
             "repro_engine_run_seconds",
             "Wall time of one engine run.", ("engine",),
             buckets=SECONDS_BUCKETS)
+        self.engine_step_cache_hits = counter(
+            "repro_engine_step_cache_hits_total",
+            "Step-memoization cache hits during engine runs.", ("engine",))
+        self.engine_step_cache_misses = counter(
+            "repro_engine_step_cache_misses_total",
+            "Step-memoization cache misses during engine runs.", ("engine",))
+
+        # --- parallel experiment runner (repro.sim.parallel) -----------
+        self.parallel_jobs = counter(
+            "repro_parallel_jobs_total",
+            "Jobs executed by ParallelRunner.map.", ("mode",))
+        self.parallel_workers = gauge(
+            "repro_parallel_workers",
+            "Worker-process count used by the last ParallelRunner.map.")
 
         # --- Sunder device (repro.core.device) ------------------------
         self.device_reconfigurations = counter(

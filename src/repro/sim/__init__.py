@@ -8,7 +8,8 @@ from .analysis import (
     per_code_counts,
     summarize_analysis,
 )
-from .engine import BitsetEngine, NaiveEngine
+from .engine import DEFAULT_STEP_CACHE, BitsetEngine, NaiveEngine
+from .parallel import ParallelRunner, default_workers, parallel_map
 from .inputs import (
     PAD_NIBBLE,
     bytes_to_nibbles,
@@ -24,8 +25,12 @@ from .trace import CycleTrace, Tracer
 __all__ = [
     "BitsetEngine",
     "CycleTrace",
+    "DEFAULT_STEP_CACHE",
     "NaiveEngine",
+    "ParallelRunner",
     "Tracer",
+    "default_workers",
+    "parallel_map",
     "ReportEvent",
     "ReportRecorder",
     "PAD_NIBBLE",

@@ -3,9 +3,22 @@
 Two engines with identical semantics:
 
 - :class:`BitsetEngine` — production engine.  The active-state set is a
-  Python int used as a bitmask, per-(position, symbol) match masks are
-  precomputed, and successor masks are ORed per active state.  This mirrors
-  how the hardware computes ``active = enabled AND match`` each cycle.
+  Python int used as a bitmask and per-(position, symbol) match masks
+  are precomputed.  Successor propagation runs one of two kernels:
+
+  - ``"sliced"`` (default) — the state space is sliced into 8-bit
+    *blocks*; for each (block, byte-value) pair the OR of that block's
+    successor masks is table-driven, so one lookup covers up to eight
+    active states at once (the CAMA-style compaction argument: iterate
+    table entries, not states).
+  - ``"scan"`` — the original per-active-bit loop, kept as a fallback
+    and as a second differential-testing axis.
+
+  On top of either kernel sits an LRU *step cache* mapping
+  ``(active_mask, vector, start-phase)`` to ``(next_active,
+  reporting_mask)`` — the calibrated benchmark streams revisit the same
+  subset-construction states constantly (DFA-style subset caching), so
+  most cycles collapse into one dictionary hit.
 - :class:`NaiveEngine` — direct set-of-states implementation kept as a
   differential-testing oracle.
 
@@ -17,6 +30,7 @@ Cycle semantics (matching VASim and the paper's Figure 1):
 3. every active reporting state emits one report per report offset.
 """
 
+from collections import deque
 from time import perf_counter
 
 from ..errors import SimulationError
@@ -24,22 +38,16 @@ from ..automata.ste import StartKind
 from ..obs import OBS, trace_span
 from .reports import ReportRecorder
 
+#: Default LRU step-cache capacity (entries); 0 disables the cache.
+DEFAULT_STEP_CACHE = 1 << 16
 
-def _normalize_stream(automaton, stream):
-    """Turn a flat or vector stream into tuples of the automaton's arity."""
-    vectors = []
-    for item in stream:
-        if isinstance(item, int):
-            item = (item,)
-        else:
-            item = tuple(item)
-        if len(item) != automaton.arity:
-            raise SimulationError(
-                "input vector %r does not match automaton arity %d"
-                % (item, automaton.arity)
-            )
-        vectors.append(item)
-    return vectors
+#: Automata at or below this many states get their (block, byte) tables
+#: filled eagerly at construction; larger ones fill entries on first use
+#: so construction cost and memory stay proportional to what the stream
+#: actually exercises.
+EAGER_SLICE_STATES = 512
+
+_KERNELS = ("auto", "sliced", "scan")
 
 
 class BitsetEngine:
@@ -47,15 +55,41 @@ class BitsetEngine:
 
     The engine is reusable: call :meth:`run` for whole streams, or
     :meth:`reset` + :meth:`step` for streaming use.
+
+    Parameters
+    ----------
+    kernel:
+        ``"sliced"`` (block-sliced successor tables), ``"scan"`` (the
+        per-active-bit loop), or ``"auto"`` (currently ``"sliced"``).
+    step_cache:
+        Capacity of the LRU step cache; ``0`` disables memoization.
+        The cache survives :meth:`reset` — entries are pure functions
+        of the automaton, so reuse across runs is sound and is where
+        repeated-stream workloads win the most.
+    history_limit:
+        ``None`` (default) keeps the full per-cycle
+        ``active_count_history`` list as before; ``N > 0`` keeps a ring
+        buffer of the most recent ``N`` counts; ``0`` disables history
+        bookkeeping entirely (recommended for unbounded streaming use).
     """
 
-    def __init__(self, automaton):
+    def __init__(self, automaton, kernel="auto", step_cache=DEFAULT_STEP_CACHE,
+                 history_limit=None):
         automaton.validate()
+        if kernel not in _KERNELS:
+            raise SimulationError(
+                "unknown kernel %r (choose from %s)" % (kernel, _KERNELS))
+        if step_cache < 0:
+            raise SimulationError("step_cache capacity must be >= 0")
+        if history_limit is not None and history_limit < 0:
+            raise SimulationError("history_limit must be None or >= 0")
         self.automaton = automaton
+        self.kernel = "sliced" if kernel == "auto" else kernel
         self._ids = automaton.state_ids()
         self._index = {state_id: i for i, state_id in enumerate(self._ids)}
         size = len(self._ids)
         self._size = size
+        self._start_period = automaton.start_period
 
         self._succ_mask = [0] * size
         for src, dst in automaton.transitions():
@@ -86,14 +120,73 @@ class BitsetEngine:
                 for value in sset:
                     column[value] |= bit
 
+        if self.kernel == "sliced":
+            self._build_block_tables()
+
+        self._step_cache_limit = step_cache
+        self._step_cache = {} if step_cache else None
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._history_limit = history_limit
         self.reset()
+
+    def _build_block_tables(self):
+        """Slice the state space into 8-bit blocks of successor ORs.
+
+        ``_block_tables[b][v]`` is the OR of the successor masks of the
+        states in block ``b`` whose bit is set in byte-value ``v``.
+        Small automata are filled eagerly (with the subset-doubling
+        recurrence ``table[v] = table[v without lowest bit] | succ``);
+        large ones leave entries as ``None`` to be filled on first use.
+        """
+        succ = self._succ_mask
+        n_blocks = (self._size + 7) >> 3
+        self._block_clear = [~(0xFF << (b << 3)) for b in range(n_blocks)]
+        tables = []
+        if self._size <= EAGER_SLICE_STATES:
+            for block in range(n_blocks):
+                base = block << 3
+                width = min(8, self._size - base)
+                table = [0] * 256
+                for value in range(1, 1 << width):
+                    low = value & -value
+                    table[value] = (table[value ^ low]
+                                    | succ[base + low.bit_length() - 1])
+                if width < 8:  # bits beyond the state space never occur
+                    for value in range(1 << width, 256):
+                        table[value] = table[value & ((1 << width) - 1)]
+                tables.append(table)
+        else:
+            tables = [[None] * 256 for _ in range(n_blocks)]
+        self._block_tables = tables
+
+    def _fill_block_entry(self, block, value):
+        """Lazily compute and store one (block, byte-value) table entry."""
+        succ = self._succ_mask
+        base = block << 3
+        entry = 0
+        bits = value
+        while bits:
+            low = bits & -bits
+            entry |= succ[base + low.bit_length() - 1]
+            bits ^= low
+        self._block_tables[block][value] = entry
+        return entry
 
     # ------------------------------------------------------------------
     def reset(self):
-        """Return to the pre-input state (cycle 0 next)."""
+        """Return to the pre-input state (cycle 0 next).
+
+        The step cache is deliberately *not* cleared: its entries
+        depend only on the automaton, never on stream position.
+        """
         self._active = 0
         self._cycle = 0
-        self.active_count_history = []
+        limit = self._history_limit
+        if limit is None:
+            self.active_count_history = []
+        else:
+            self.active_count_history = deque(maxlen=limit)
 
     @property
     def cycle(self):
@@ -104,15 +197,39 @@ class BitsetEngine:
         """Ids of currently active states (after the last step)."""
         return [self._ids[i] for i in _iter_bits(self._active)]
 
+    def step_cache_info(self):
+        """Cache statistics: hits/misses since construction, size, limit."""
+        lookups = self._cache_hits + self._cache_misses
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "hit_rate": self._cache_hits / lookups if lookups else 0.0,
+            "size": len(self._step_cache) if self._step_cache is not None else 0,
+            "limit": self._step_cache_limit,
+        }
+
     def _enabled_mask(self):
         enabled = 0
         active = self._active
-        succ = self._succ_mask
-        while active:
-            low = active & -active
-            enabled |= succ[low.bit_length() - 1]
-            active ^= low
-        if self._cycle % self.automaton.start_period == 0:
+        if self.kernel == "sliced":
+            tables = self._block_tables
+            clear = self._block_clear
+            while active:
+                low = active & -active
+                block = (low.bit_length() - 1) >> 3
+                value = (active >> (block << 3)) & 0xFF
+                entry = tables[block][value]
+                if entry is None:
+                    entry = self._fill_block_entry(block, value)
+                enabled |= entry
+                active &= clear[block]
+        else:
+            succ = self._succ_mask
+            while active:
+                low = active & -active
+                enabled |= succ[low.bit_length() - 1]
+                active ^= low
+        if self._cycle % self._start_period == 0:
             enabled |= self._all_input_mask
         if self._cycle == 0:
             enabled |= self._start_of_data_mask
@@ -132,22 +249,125 @@ class BitsetEngine:
             ) from None
         return result
 
+    def _report_plan(self, reporting):
+        """Decode a reporting mask into ((offset, state_id, code), ...).
+
+        Cached alongside the next-active mask so hot (cached) cycles
+        record reports with a direct loop instead of re-walking bits.
+        """
+        plan = []
+        for index in _iter_bits(reporting):
+            state_id, code, offsets = self._report_info[index]
+            for offset in offsets:
+                plan.append((offset, state_id, code))
+        return tuple(plan)
+
+    def _step_key(self, vector):
+        """Memoization key for the next step on ``vector``.
+
+        The phase component folds in everything :meth:`_enabled_mask`
+        reads besides the active mask: 2 = start-of-data cycle, 1 =
+        start-period boundary, 0 = mid-period cycle.
+        """
+        cycle = self._cycle
+        phase = 2 if cycle == 0 else (1 if cycle % self._start_period == 0
+                                      else 0)
+        return (self._active,
+                vector if type(vector) is tuple else tuple(vector),
+                phase)
+
     def step(self, vector, recorder=None):
         """Advance one cycle on ``vector``; returns the active bitmask."""
-        enabled = self._enabled_mask()
-        active = enabled & self.match_mask(vector)
+        cache = self._step_cache
+        plan = None
+        if cache is not None:
+            key = self._step_key(vector)
+            cached = cache.get(key)
+            if cached is not None:
+                self._cache_hits += 1
+                del cache[key]  # LRU touch: re-insert at the newest end
+                cache[key] = cached
+                active, plan = cached
+            else:
+                self._cache_misses += 1
+                active = self._enabled_mask() & self.match_mask(vector)
+                plan = self._report_plan(active & self._report_mask)
+                if len(cache) >= self._step_cache_limit:
+                    cache.pop(next(iter(cache)))  # evict least recent
+                cache[key] = (active, plan)
+        else:
+            active = self._enabled_mask() & self.match_mask(vector)
+            if active & self._report_mask:
+                plan = self._report_plan(active & self._report_mask)
         self._active = active
-        reporting = active & self._report_mask
-        if reporting and recorder is not None:
-            arity = self.automaton.arity
-            base = self._cycle * arity
-            for index in _iter_bits(reporting):
-                state_id, code, offsets = self._report_info[index]
-                for offset in offsets:
-                    recorder.record(base + offset, self._cycle, state_id, code)
-        self.active_count_history.append(_popcount(active))
+        if plan and recorder is not None:
+            base = self._cycle * self.automaton.arity
+            for offset, state_id, code in plan:
+                recorder.record(base + offset, self._cycle, state_id, code)
+        if self._history_limit != 0:
+            self.active_count_history.append(_popcount(active))
         self._cycle += 1
         return active
+
+    def _execute(self, vectors, recorder):
+        """The hot run loop: :meth:`step` semantics with hoisted locals.
+
+        Bit-exact with calling :meth:`step` per vector (the differential
+        suite pins this); the win is skipping per-cycle attribute and
+        method lookups, and touching the LRU order only once the cache
+        is past half capacity (eviction precision only matters when an
+        eviction is actually near).
+        """
+        cache = self._step_cache
+        if cache is None:
+            for vector in vectors:
+                self.step(vector, recorder)
+            return
+        limit = self._step_cache_limit
+        touch_floor = limit >> 1
+        period = self._start_period
+        report_mask = self._report_mask
+        arity = self.automaton.arity
+        history = (self.active_count_history
+                   if self._history_limit != 0 else None)
+        popcount = _popcount
+        cache_get = cache.get
+        record = recorder.record if recorder is not None else None
+        active = self._active
+        cycle = self._cycle
+        hits = misses = 0
+        single_period = period == 1
+        for vector in vectors:
+            phase = (2 if cycle == 0 else
+                     1 if single_period or cycle % period == 0 else 0)
+            key = (active, vector, phase)
+            cached = cache_get(key)
+            if cached is None:
+                misses += 1
+                self._active = active  # sync for _enabled_mask
+                self._cycle = cycle
+                nxt = self._enabled_mask() & self.match_mask(vector)
+                cached = (nxt, self._report_plan(nxt & report_mask))
+                if len(cache) >= limit:
+                    cache.pop(next(iter(cache)))
+                cache[key] = cached
+            else:
+                hits += 1
+                if len(cache) > touch_floor:
+                    del cache[key]
+                    cache[key] = cached
+            active, plan = cached
+            if plan and record is not None:
+                base = cycle * arity
+                for offset, state_id, code in plan:
+                    record(base + offset, cycle, state_id, code)
+            if history is not None:
+                history.append(popcount(active))
+            cycle += 1
+        self._active = active
+        self._cycle = cycle
+        self._cache_hits += hits
+        self._cache_misses += misses
 
     def run(self, stream, recorder=None, position_limit=None):
         """Execute a whole stream; returns the :class:`ReportRecorder` used.
@@ -160,28 +380,32 @@ class BitsetEngine:
         if OBS.active:  # single attribute check when no collector attached
             return self._run_observed(stream, recorder)
         self.reset()
-        for vector in _normalize_stream(self.automaton, stream):
-            self.step(vector, recorder)
+        self._execute(_normalize_stream(self.automaton, stream), recorder)
         return recorder
 
     def _run_observed(self, stream, recorder):
         """`run` with the telemetry hooks live (collector attached)."""
         instruments = OBS.instruments
         reports_before = recorder.total_reports
+        hits_before = self._cache_hits
+        misses_before = self._cache_misses
         vectors = _normalize_stream(self.automaton, stream)
         with trace_span("engine.run", engine="bitset",
                         automaton=self.automaton.name,
                         cycles=len(vectors)):
             start = perf_counter()
             self.reset()
-            for vector in vectors:
-                self.step(vector, recorder)
+            self._execute(vectors, recorder)
             elapsed = perf_counter() - start
         instruments.engine_runs.labels(engine="bitset").inc()
         instruments.engine_cycles.labels(engine="bitset").inc(len(vectors))
         instruments.engine_reports.labels(engine="bitset").inc(
             recorder.total_reports - reports_before)
         instruments.engine_run_seconds.labels(engine="bitset").observe(elapsed)
+        instruments.engine_step_cache_hits.labels(engine="bitset").inc(
+            self._cache_hits - hits_before)
+        instruments.engine_step_cache_misses.labels(engine="bitset").inc(
+            self._cache_misses - misses_before)
         active_histogram = instruments.engine_active_states.labels(
             engine="bitset")
         for count in self.active_count_history:
@@ -245,6 +469,23 @@ class NaiveEngine:
         return recorder
 
 
+def _normalize_stream(automaton, stream):
+    """Turn a flat or vector stream into tuples of the automaton's arity."""
+    vectors = []
+    for item in stream:
+        if isinstance(item, int):
+            item = (item,)
+        else:
+            item = tuple(item)
+        if len(item) != automaton.arity:
+            raise SimulationError(
+                "input vector %r does not match automaton arity %d"
+                % (item, automaton.arity)
+            )
+        vectors.append(item)
+    return vectors
+
+
 def _iter_bits(mask):
     """Yield the indices of set bits in ``mask``, ascending."""
     while mask:
@@ -253,5 +494,8 @@ def _iter_bits(mask):
         mask ^= low
 
 
-def _popcount(mask):
-    return bin(mask).count("1")
+try:
+    _popcount = int.bit_count  # Python >= 3.10: C-speed population count
+except AttributeError:  # pragma: no cover - exercised on older interpreters
+    def _popcount(mask):
+        return bin(mask).count("1")

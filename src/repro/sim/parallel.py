@@ -1,0 +1,106 @@
+"""Parallel experiment fan-out built on :mod:`concurrent.futures`.
+
+The experiment harnesses (Table 1/3/4, Figures 8-10) evaluate one
+benchmark or sweep point at a time, and every evaluation is a pure
+function of a small picklable job spec (benchmark name, scale, seed,
+...).  :class:`ParallelRunner` fans those jobs out across a process
+pool while keeping the contract the tables rely on:
+
+- **deterministic ordering** — results come back in job order
+  regardless of completion order, so rendered tables are byte-identical
+  at any worker count;
+- **picklable job specs** — workers regenerate workloads from the spec,
+  so nothing heavyweight crosses the process boundary;
+- **graceful serial fallback** — ``workers=1`` (the default), an
+  unpicklable function/job, or a broken/unavailable pool all degrade to
+  an in-process loop with identical results.
+
+Telemetry: when a collector is attached in the *parent* process the
+runner records ``repro_parallel_jobs_total{mode=serial|process}`` and
+``repro_parallel_workers``.  Child processes start with no collector
+attached, so engine metrics from worker-side runs are not aggregated
+into the parent registry — profile with ``workers=1`` when per-engine
+metrics matter (see docs/performance.md).
+"""
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+
+from ..errors import SimulationError
+from ..obs import OBS, trace_span
+
+#: Errors that mean "the pool cannot run this", not "the job failed".
+_FALLBACK_ERRORS = (pickle.PicklingError, AttributeError, TypeError,
+                    BrokenProcessPool, OSError, RuntimeError)
+
+
+def default_workers():
+    """Worker count used for ``workers=0`` ("all cores")."""
+    return os.cpu_count() or 1
+
+
+class ParallelRunner:
+    """Deterministic-order parallel ``map`` with serial fallback.
+
+    Parameters
+    ----------
+    workers:
+        ``1`` runs serially in-process (no pool, no pickling), ``N > 1``
+        uses a process pool of up to ``N`` workers, and ``0`` means
+        "one worker per CPU core".
+    chunksize:
+        Forwarded to ``ProcessPoolExecutor.map``; raise it for many
+        tiny jobs to amortize IPC.
+    """
+
+    def __init__(self, workers=1, chunksize=1):
+        if workers is None:
+            workers = 1
+        if workers < 0:
+            raise SimulationError("workers must be >= 0 (0 = all cores)")
+        self.workers = default_workers() if workers == 0 else workers
+        self.chunksize = chunksize
+
+    def map(self, func, jobs):
+        """``[func(job) for job in jobs]``, possibly across processes.
+
+        ``func`` must be a module-level callable and each job spec
+        picklable for the pool path; anything else silently degrades to
+        the serial path.  Results preserve job order.  Exceptions raised
+        by ``func`` itself propagate (after at most one serial retry
+        when they surfaced through the pool machinery).
+        """
+        jobs = list(jobs)
+        mode = "serial"
+        results = None
+        pool_workers = min(self.workers, len(jobs)) if jobs else 1
+        if pool_workers > 1:
+            with trace_span("parallel.map", workers=pool_workers,
+                            jobs=len(jobs)):
+                try:
+                    with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                        results = list(pool.map(func, jobs,
+                                                chunksize=self.chunksize))
+                    mode = "process"
+                except _FALLBACK_ERRORS:
+                    results = None  # degrade to the serial path below
+        if results is None:
+            with trace_span("parallel.map", workers=1, jobs=len(jobs)):
+                results = [func(job) for job in jobs]
+        self._record(mode, len(jobs), pool_workers if mode == "process" else 1)
+        return results
+
+    @staticmethod
+    def _record(mode, jobs, workers):
+        if not OBS.active:
+            return
+        instruments = OBS.instruments
+        instruments.parallel_jobs.labels(mode=mode).inc(jobs)
+        instruments.parallel_workers.set(workers)
+
+
+def parallel_map(func, jobs, workers=1, chunksize=1):
+    """One-shot convenience wrapper around :class:`ParallelRunner`."""
+    return ParallelRunner(workers=workers, chunksize=chunksize).map(func, jobs)

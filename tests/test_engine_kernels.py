@@ -1,0 +1,232 @@
+"""Kernel/cache differential suite: every BitsetEngine configuration
+must be bit-exact with NaiveEngine, including start-period and
+report-offset edge cases, plus the step-cache and history-limit
+behaviours themselves."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata import Automaton, StartKind, SymbolSet
+from repro.errors import SimulationError
+from repro.sim import BitsetEngine, NaiveEngine, ReportRecorder
+from repro.sim.engine import DEFAULT_STEP_CACHE, EAGER_SLICE_STATES, _popcount
+from conftest import random_automaton
+
+#: Every kernel/cache configuration under differential test.
+CONFIGS = [
+    {"kernel": "scan", "step_cache": 0},
+    {"kernel": "scan", "step_cache": DEFAULT_STEP_CACHE},
+    {"kernel": "sliced", "step_cache": 0},
+    {"kernel": "sliced", "step_cache": DEFAULT_STEP_CACHE},
+    {"kernel": "sliced", "step_cache": 4},  # tiny: constant eviction
+]
+
+
+def _edge_case_automaton(rng, start_period=1, arity=2):
+    """Random vector automaton with start periods and multi-offset reports."""
+    automaton = Automaton(name="edge", bits=4, arity=arity,
+                          start_period=start_period)
+    n_states = rng.randint(3, 10)
+    ids = []
+    for index in range(n_states):
+        symbols = tuple(
+            SymbolSet.of(4, rng.sample(range(16), rng.randint(1, 8)))
+            for _ in range(arity)
+        )
+        start = StartKind.NONE
+        if index == 0 or rng.random() < 0.2:
+            start = rng.choice([StartKind.ALL_INPUT, StartKind.START_OF_DATA])
+        report = rng.random() < 0.4
+        automaton.new_state(
+            "s%d" % index,
+            symbols,
+            start=start,
+            report=report,
+            report_code="c%d" % index if report else None,
+            report_offsets=tuple(sorted(rng.sample(range(arity),
+                                                   rng.randint(1, arity))))
+            if report else None,
+        )
+        ids.append("s%d" % index)
+    for src in ids:
+        for dst in ids:
+            if rng.random() < 0.3:
+                automaton.add_transition(src, dst)
+    automaton.prune_unreachable()
+    return automaton
+
+
+def _assert_equivalent(automaton, streams, config):
+    bitset = BitsetEngine(automaton, **config)
+    naive = NaiveEngine(automaton)
+    for data in streams:
+        r1, r2 = ReportRecorder(), ReportRecorder()
+        bitset.run(data, r1)
+        naive.run(data, r2)
+        assert r1.event_keys() == r2.event_keys()
+        assert r1.total_reports == r2.total_reports
+        assert dict(r1.reports_per_cycle) == dict(r2.reports_per_cycle)
+        assert bitset.active_ids() == naive.active_ids()
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=lambda c: "%s-cache%d" % (c["kernel"],
+                                                           c["step_cache"]))
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_automata_match_naive(self, seed, config):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=9, bits=4,
+                                     edge_density=0.3)
+        if len(automaton) == 0:
+            return
+        streams = [
+            [rng.randrange(16) for _ in range(rng.randint(0, 30))]
+            for _ in range(4)
+        ]
+        _assert_equivalent(automaton, streams, config)
+
+    @pytest.mark.parametrize("config", CONFIGS,
+                             ids=lambda c: "%s-cache%d" % (c["kernel"],
+                                                           c["step_cache"]))
+    @pytest.mark.parametrize("start_period", (1, 2, 3, 5))
+    def test_start_period_and_offsets_match_naive(self, start_period, config):
+        rng = random.Random(1000 + start_period)
+        automaton = _edge_case_automaton(rng, start_period=start_period)
+        if len(automaton) == 0:
+            return
+        streams = [
+            [(rng.randrange(16), rng.randrange(16))
+             for _ in range(rng.randint(1, 40))]
+            for _ in range(4)
+        ]
+        _assert_equivalent(automaton, streams, config)
+
+    def test_kernels_agree_on_large_lazy_sliced_automaton(self):
+        """Above the eager threshold the lazy table fill must stay exact."""
+        rng = random.Random(7)
+        automaton = random_automaton(rng, n_states=EAGER_SLICE_STATES + 40,
+                                     bits=4, edge_density=0.01)
+        engine = BitsetEngine(automaton, kernel="sliced", step_cache=0)
+        assert any(entry is None
+                   for table in engine._block_tables for entry in table)
+        data = [rng.randrange(16) for _ in range(120)]
+        r_sliced = engine.run(data)
+        r_scan = BitsetEngine(automaton, kernel="scan", step_cache=0).run(data)
+        assert r_sliced.event_keys() == r_scan.event_keys()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.binary(max_size=32),
+           st.sampled_from(["scan", "sliced"]), st.sampled_from([0, 8, 1024]))
+    def test_hypothesis_configs_match_naive(self, seed, raw, kernel, cache):
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=7, bits=4,
+                                     edge_density=0.35)
+        if len(automaton) == 0:
+            return
+        data = [byte % 16 for byte in raw]
+        r1 = BitsetEngine(automaton, kernel=kernel, step_cache=cache).run(data)
+        r2 = NaiveEngine(automaton).run(data)
+        assert r1.event_keys() == r2.event_keys()
+
+    def test_warm_cache_reruns_are_identical(self):
+        """A second run over the same stream (all cache hits) must match."""
+        rng = random.Random(99)
+        automaton = random_automaton(rng, n_states=8, bits=4)
+        engine = BitsetEngine(automaton)
+        data = [rng.randrange(16) for _ in range(200)]
+        first = engine.run(data)
+        info = engine.step_cache_info()
+        second = engine.run(data)
+        assert engine.step_cache_info()["hits"] > info["hits"]
+        assert first.event_keys() == second.event_keys()
+        assert first.total_reports == second.total_reports
+
+    def test_step_streaming_matches_run(self):
+        """Streaming step() calls equal one run() (the hoisted hot loop)."""
+        rng = random.Random(5)
+        automaton = random_automaton(rng, n_states=8, bits=4)
+        data = [rng.randrange(16) for _ in range(150)]
+        run_recorder = BitsetEngine(automaton).run(data)
+        engine = BitsetEngine(automaton)
+        step_recorder = ReportRecorder()
+        engine.reset()
+        for symbol in data:
+            engine.step((symbol,), step_recorder)
+        assert step_recorder.event_keys() == run_recorder.event_keys()
+
+
+class TestStepCache:
+    def _abc(self):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]), start="all-input",
+                            report=True, report_code="s")
+        return automaton
+
+    def test_counters_and_info(self):
+        engine = BitsetEngine(self._abc())
+        engine.run([1, 2, 1, 2, 1])
+        info = engine.step_cache_info()
+        assert info["hits"] + info["misses"] == 5
+        assert info["misses"] >= 1
+        assert 0.0 <= info["hit_rate"] <= 1.0
+        assert info["limit"] == DEFAULT_STEP_CACHE
+        assert info["size"] <= info["limit"]
+
+    def test_disabled_cache_records_nothing(self):
+        engine = BitsetEngine(self._abc(), step_cache=0)
+        engine.run([1, 1, 1])
+        info = engine.step_cache_info()
+        assert info == {"hits": 0, "misses": 0, "hit_rate": 0.0,
+                        "size": 0, "limit": 0}
+
+    def test_tiny_cache_evicts_but_stays_exact(self):
+        rng = random.Random(3)
+        automaton = random_automaton(rng, n_states=8, bits=4)
+        engine = BitsetEngine(automaton, step_cache=2)
+        data = [rng.randrange(16) for _ in range(100)]
+        recorder = engine.run(data)
+        assert engine.step_cache_info()["size"] <= 2
+        reference = NaiveEngine(automaton).run(data)
+        assert recorder.event_keys() == reference.event_keys()
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(SimulationError):
+            BitsetEngine(self._abc(), kernel="quantum")
+        with pytest.raises(SimulationError):
+            BitsetEngine(self._abc(), step_cache=-1)
+        with pytest.raises(SimulationError):
+            BitsetEngine(self._abc(), history_limit=-1)
+
+
+class TestHistoryLimit:
+    def _engine(self, **kwargs):
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]), start="all-input")
+        return BitsetEngine(automaton, **kwargs)
+
+    def test_default_is_unbounded_list(self):
+        engine = self._engine()
+        engine.run([1, 2, 1])
+        assert engine.active_count_history == [1, 0, 1]
+        assert isinstance(engine.active_count_history, list)
+
+    def test_limit_keeps_most_recent_counts(self):
+        engine = self._engine(history_limit=2)
+        engine.run([1, 2, 1, 1])
+        assert list(engine.active_count_history) == [1, 1]
+
+    def test_zero_disables_history(self):
+        engine = self._engine(history_limit=0)
+        engine.run([1, 2, 1])
+        assert len(engine.active_count_history) == 0
+
+
+def test_popcount_matches_reference():
+    rng = random.Random(0)
+    for _ in range(200):
+        value = rng.getrandbits(rng.randint(1, 300))
+        assert _popcount(value) == bin(value).count("1")
+    assert _popcount(0) == 0
