@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -16,6 +16,9 @@ bench:
 
 bench-engine:
 	$(PYTHON) scripts/bench_engine.py --scale $(SCALE) --out BENCH_engine.json
+
+bench-transform:
+	$(PYTHON) scripts/bench_transform.py --scale $(SCALE) --out BENCH_transform.json
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py $(SCALE)

@@ -1,0 +1,48 @@
+"""Tier-2 smoke: the transform benchmark payload validates its schema.
+
+Mirrors ``make bench-transform`` at a tiny scale so drift in the
+``BENCH_transform.json`` trajectory format (or a cache regression that
+makes cached transforms diverge from fresh builds) fails fast, the same
+way ``test_bench_engine_payload_schema`` pins the engine suite.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_transform  # noqa: E402
+
+
+def test_bench_transform_payload_schema(bench_scale, tmp_path):
+    out = tmp_path / "BENCH_transform.json"
+    code = bench_transform.main([
+        "--scale", str(min(bench_scale, 0.003)),
+        "--repeats", "1",
+        "--workloads", "Bro217", "Snort",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_transform.validate_payload(payload)
+    assert [row["name"] for row in payload["workloads"]] == [
+        "Bro217", "Snort"]
+    assert all(row["cached_identical"] for row in payload["workloads"])
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_transform.validate_payload({"schema": "something-else"})
+    payload = bench_transform.run_suite(scale=0.002, repeats=1,
+                                        workloads=("Bro217",))
+    bench_transform.validate_payload(payload)
+    broken = dict(payload, workloads=[])
+    with pytest.raises(ValueError):
+        bench_transform.validate_payload(broken)
+    divergent = json.loads(json.dumps(payload))
+    divergent["workloads"][0]["cached_identical"] = False
+    with pytest.raises(ValueError):
+        bench_transform.validate_payload(divergent)

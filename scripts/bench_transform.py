@@ -1,0 +1,256 @@
+"""Transform pipeline benchmark suite -> ``BENCH_transform.json``.
+
+Usage:  python scripts/bench_transform.py [--scale S] [--repeats N]
+                                          [--out PATH]
+
+Two measurement families:
+
+- **cache** — for each workload, the nibble and stride stages are timed
+  cold (fresh cache, real build) and warm (served from the
+  content-addressed cache), and the cached result is checked to be
+  byte-identical to the fresh build at rates 1/2/4;
+- **minimizer** — the partition-refinement ``minimize`` against the
+  round-based ``minimize_legacy`` on two regimes: already-minimal
+  registry machines (where minimization is a verification pass) and
+  duplicate-heavy rule unions (the redundancy FlexAmata minimization
+  exists for, where the legacy round cap also under-merges).
+
+Writes one JSON payload (schema pinned by ``validate_payload`` and the
+tier-2 smoke ``benchmarks/test_bench_transform.py``).  Run via
+``make bench-transform``.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.automata import single_pattern, union  # noqa: E402
+from repro.automata.ops import minimize, minimize_legacy  # noqa: E402
+from repro.transform import cache as transform_cache  # noqa: E402
+from repro.transform import stride, to_nibbles, to_rate  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+#: Schema identifier written into (and required from) every payload.
+SCHEMA = "repro-bench-transform"
+SCHEMA_VERSION = 1
+
+#: Cache-stage workloads: the suite's report-heavy, dense, and sparse ends.
+DEFAULT_WORKLOADS = ("Snort", "Brill", "SPM", "Bro217")
+
+#: Minimizer workloads drawn from the registry (already-minimal regime).
+MINIMAL_WORKLOADS = ("Snort", "SPM", "Brill")
+
+#: Duplicate-heavy unions (copies, pattern_length) — the merge regime.
+DUPLICATE_CASES = ((10, 32), (20, 64))
+
+
+def _best(func, repeats):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def bench_cache_workload(name, scale, seed, repeats):
+    """Cold vs warm stage timings for one workload."""
+    automaton = generate(name, scale=scale, seed=seed).automaton
+    transform_cache.configure()
+    cold_nibble, nib = _best(lambda: to_nibbles(automaton), 1)
+    warm_nibble, _ = _best(lambda: to_nibbles(automaton), repeats)
+    cold_stride, _ = _best(lambda: stride(nib, 4), 1)
+    warm_stride, _ = _best(lambda: stride(nib, 4), repeats)
+
+    identical = True
+    for rate in (1, 2, 4):
+        transform_cache.configure()
+        fresh = to_rate(automaton, rate)
+        cached = to_rate(automaton, rate)
+        identical = identical and fresh.dumps() == cached.dumps()
+
+    return {
+        "name": name,
+        "states": len(automaton),
+        "stages": {
+            "nibble": {
+                "cold_seconds": cold_nibble,
+                "warm_seconds": warm_nibble,
+                "warm_speedup": cold_nibble / warm_nibble,
+            },
+            "stride": {
+                "cold_seconds": cold_stride,
+                "warm_seconds": warm_stride,
+                "warm_speedup": cold_stride / warm_stride,
+            },
+        },
+        "cached_identical": identical,
+    }
+
+
+def _duplicate_union(copies, length):
+    return union(
+        [single_pattern("dup", bytes([0x41 + (i % 26) for i in range(length)]))
+         for _ in range(copies)],
+        name="dup%dx%d" % (copies, length),
+    )
+
+
+def bench_minimizer_machine(name, build, repeats):
+    """New vs legacy minimizer on fresh copies of one machine."""
+    machine = build()
+    new_seconds, removed_new = _best(
+        lambda: minimize(machine.copy()), repeats)
+    legacy_seconds, removed_legacy = _best(
+        lambda: minimize_legacy(machine.copy()), repeats)
+    return {
+        "name": name,
+        "states": len(machine),
+        "removed_new": removed_new,
+        "removed_legacy": removed_legacy,
+        "new_seconds": new_seconds,
+        "legacy_seconds": legacy_seconds,
+        "speedup": legacy_seconds / new_seconds,
+    }
+
+
+def bench_minimizer(scale, seed, repeats):
+    """Both minimizer regimes; returns the payload's ``minimizer`` dict."""
+    rows = []
+    for name in MINIMAL_WORKLOADS:
+        automaton = generate(name, scale=scale, seed=seed).automaton
+        transform_cache.configure()
+        nib = to_nibbles(automaton, minimized=False)
+        rows.append(bench_minimizer_machine(
+            "%s/nibble" % name, lambda nib=nib: nib, repeats))
+    for copies, length in DUPLICATE_CASES:
+        rows.append(bench_minimizer_machine(
+            "dup%dx%d" % (copies, length),
+            lambda c=copies, l=length: _duplicate_union(c, l), repeats))
+    geomean = math.exp(
+        sum(math.log(row["speedup"]) for row in rows) / len(rows))
+    return {"rows": rows, "speedup_geomean": geomean}
+
+
+def run_suite(scale=0.01, seed=0, repeats=3, workloads=DEFAULT_WORKLOADS):
+    """Measure everything; returns the BENCH_transform payload dict."""
+    rows = [bench_cache_workload(name, scale, seed, repeats)
+            for name in workloads]
+    warm = math.exp(sum(
+        math.log(row["stages"][stage]["warm_speedup"])
+        for row in rows for stage in ("nibble", "stride")
+    ) / (2 * len(rows)))
+    payload = {
+        "version": SCHEMA_VERSION,
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "code_version": transform_cache.CODE_VERSION,
+        "workloads": rows,
+        "warm_speedup_geomean": warm,
+        "minimizer": bench_minimizer(scale, seed, repeats),
+    }
+    transform_cache.configure()  # leave no benchmark state behind
+    return payload
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("BENCH_transform payload invalid: %s" % message)
+
+
+def validate_payload(payload):
+    """Schema check for the trajectory file; raises ValueError on drift.
+
+    Returns the payload unchanged so callers can chain.
+    """
+    _require(isinstance(payload, dict), "expected an object")
+    _require(payload.get("schema") == SCHEMA, "schema != %r" % SCHEMA)
+    _require(payload.get("version") == SCHEMA_VERSION,
+             "version != %d" % SCHEMA_VERSION)
+    for field in ("scale", "seed", "repeats", "warm_speedup_geomean"):
+        _require(isinstance(payload.get(field), (int, float)),
+                 "%s must be a number" % field)
+    _require(isinstance(payload.get("code_version"), str), "code_version")
+    rows = payload.get("workloads")
+    _require(isinstance(rows, list) and rows, "workloads must be non-empty")
+    for row in rows:
+        _require(isinstance(row.get("name"), str), "workload name")
+        _require(isinstance(row.get("states"), int) and row["states"] > 0,
+                 "states must be a positive int")
+        _require(row.get("cached_identical") is True,
+                 "cached transform diverged from fresh build")
+        stages = row.get("stages")
+        _require(isinstance(stages, dict)
+                 and set(stages) == {"nibble", "stride"},
+                 "stages must cover nibble and stride")
+        for label, stats in stages.items():
+            for field in ("cold_seconds", "warm_seconds", "warm_speedup"):
+                _require(stats.get(field, 0) > 0,
+                         "%s %s" % (label, field))
+    minimizer = payload.get("minimizer")
+    _require(isinstance(minimizer, dict), "minimizer must be an object")
+    _require(minimizer.get("speedup_geomean", 0) > 0,
+             "minimizer speedup_geomean")
+    mrows = minimizer.get("rows")
+    _require(isinstance(mrows, list) and mrows,
+             "minimizer rows must be non-empty")
+    for row in mrows:
+        _require(isinstance(row.get("name"), str), "minimizer row name")
+        for field in ("new_seconds", "legacy_seconds", "speedup"):
+            _require(row.get(field, 0) > 0, "minimizer %s" % field)
+        _require(row.get("removed_new", -1) >= row.get("removed_legacy", 0),
+                 "refinement minimizer merged less than legacy")
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--out", default="BENCH_transform.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale, seed=args.seed,
+                        repeats=args.repeats, workloads=args.workloads)
+    validate_payload(payload)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for row in payload["workloads"]:
+        nibble = row["stages"]["nibble"]
+        strided = row["stages"]["stride"]
+        print("%-10s %7d states  nibble %8.4fs -> %8.5fs (%6.0fx)  "
+              "stride %8.4fs -> %8.5fs (%6.0fx)" % (
+                  row["name"], row["states"],
+                  nibble["cold_seconds"], nibble["warm_seconds"],
+                  nibble["warm_speedup"],
+                  strided["cold_seconds"], strided["warm_seconds"],
+                  strided["warm_speedup"]))
+    print("warm-cache speedup geomean: %.0fx" %
+          payload["warm_speedup_geomean"])
+    for row in payload["minimizer"]["rows"]:
+        print("%-12s %7d states  new -%-5d %8.4fs   legacy -%-5d %8.4fs  "
+              "(%.2fx)" % (
+                  row["name"], row["states"],
+                  row["removed_new"], row["new_seconds"],
+                  row["removed_legacy"], row["legacy_seconds"],
+                  row["speedup"]))
+    print("minimizer speedup geomean: %.2fx" %
+          payload["minimizer"]["speedup_geomean"])
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.cli import main as repro_main  # noqa: E402
 from repro.obs import validate_snapshot  # noqa: E402
+from repro.transform import cache as transform_cache  # noqa: E402
 
 #: Metric families the profiled table4 run must populate.
 REQUIRED_METRICS = (
@@ -52,6 +53,10 @@ def fail(message):
 
 
 def check(scale="0.002"):
+    # A warm transform cache would serve every stage as a hit, which is
+    # (correctly) excluded from repro_transform_stage_seconds — pin the
+    # cold-run exposition by starting from a fresh memory-only cache.
+    transform_cache.configure()
     with tempfile.TemporaryDirectory() as tmp:
         metrics_path = pathlib.Path(tmp) / "metrics.json"
         trace_path = pathlib.Path(tmp) / "trace.json"

@@ -7,9 +7,19 @@ rewrite them, the simulator executes them, and the architecture model maps
 them onto subarrays.
 """
 
+import hashlib
+import json
+
 from ..errors import AutomatonError
 from .ste import StartKind, Ste
 from .symbolset import SymbolSet
+
+#: Format tag + version written into (and required from) every payload
+#: produced by :meth:`Automaton.to_payload`.  Bump the version whenever
+#: the payload shape changes; old artifacts then deserialize as errors
+#: (which the transform cache treats as misses).
+PAYLOAD_FORMAT = "repro-automaton"
+PAYLOAD_VERSION = 1
 
 
 class Automaton:
@@ -236,6 +246,127 @@ class Automaton:
         for src, dst in self.transitions():
             duplicate.add_transition(mapping[src], mapping[dst])
         return duplicate
+
+    # ------------------------------------------------------------------
+    # Fingerprinting & serialization
+    # ------------------------------------------------------------------
+    def fingerprint(self):
+        """Canonical structural hash (hex sha256), insertion-order free.
+
+        Two automata that contain the same states (ids, symbol sets,
+        start kinds, report metadata) and the same transitions hash
+        identically regardless of the order states or edges were added.
+        The shape header (name, bits, arity, start period) is included,
+        so machines that differ only in name do not collide — transform
+        results derive their names from their source's.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            ("%s\x00%d\x00%d\x00%d" % (
+                self.name, self.bits, self.arity, self.start_period,
+            )).encode("utf-8", "surrogatepass")
+        )
+        for state_id in sorted(self._states):
+            state = self._states[state_id]
+            record = (
+                state_id,
+                "|".join("%x" % sset.mask for sset in state.symbols),
+                state.start.value,
+                "%d" % state.report,
+                "" if state.report_code is None else str(state.report_code),
+                ",".join("%d" % o for o in state.report_offsets),
+                ";".join(sorted(self._succ[state_id])),
+            )
+            digest.update(("\x1e".join(record) + "\x1d").encode(
+                "utf-8", "surrogatepass"))
+        return digest.hexdigest()
+
+    def to_payload(self):
+        """Versioned JSON-serializable dict (see :data:`PAYLOAD_FORMAT`).
+
+        State and edge order follow insertion order, so a round trip
+        through :meth:`from_payload` reproduces the automaton exactly —
+        including the state ordering the simulators use for bit
+        assignment.  Symbol-set masks are hex strings (they can exceed
+        64 bits for wide alphabets).
+        """
+        states = []
+        for state in self:
+            states.append([
+                state.id,
+                ["%x" % sset.mask for sset in state.symbols],
+                state.start.value,
+                1 if state.report else 0,
+                state.report_code,
+                list(state.report_offsets),
+            ])
+        return {
+            "format": PAYLOAD_FORMAT,
+            "version": PAYLOAD_VERSION,
+            "name": self.name,
+            "bits": self.bits,
+            "arity": self.arity,
+            "start_period": self.start_period,
+            "states": states,
+            "transitions": [
+                [src, sorted(self._succ[src])]
+                for src in self._states if self._succ[src]
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Rebuild an automaton from a :meth:`to_payload` dict.
+
+        Raises :class:`AutomatonError` on any malformed or
+        version-mismatched payload, so callers (notably the transform
+        cache) can treat corruption as a recoverable condition.
+        """
+        try:
+            if payload.get("format") != PAYLOAD_FORMAT:
+                raise AutomatonError(
+                    "unknown payload format %r" % (payload.get("format"),))
+            if payload.get("version") != PAYLOAD_VERSION:
+                raise AutomatonError(
+                    "unsupported payload version %r" % (payload.get("version"),))
+            automaton = cls(
+                name=payload["name"],
+                bits=payload["bits"],
+                arity=payload["arity"],
+                start_period=payload["start_period"],
+            )
+            for record in payload["states"]:
+                state_id, masks, start, report, code, offsets = record
+                automaton.add_state(Ste(
+                    state_id,
+                    tuple(SymbolSet(automaton.bits, int(mask, 16))
+                          for mask in masks),
+                    start=StartKind(start),
+                    report=bool(report),
+                    report_code=code,
+                    report_offsets=tuple(offsets) if report else None,
+                ))
+            for src, dsts in payload["transitions"]:
+                for dst in dsts:
+                    automaton.add_transition(src, dst)
+        except AutomatonError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise AutomatonError("malformed automaton payload: %s" % error)
+        return automaton
+
+    def dumps(self):
+        """Compact JSON text of :meth:`to_payload`."""
+        return json.dumps(self.to_payload(), separators=(",", ":"))
+
+    @classmethod
+    def loads(cls, text):
+        """Inverse of :meth:`dumps`; raises :class:`AutomatonError`."""
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, TypeError) as error:
+            raise AutomatonError("undecodable automaton payload: %s" % error)
+        return cls.from_payload(payload)
 
     # ------------------------------------------------------------------
     # Composition

@@ -116,13 +116,172 @@ def merge_prefix_equivalent(automaton):
     return _merge_pass(automaton, signature)
 
 
-def minimize(automaton, max_rounds=32):
-    """Iterate prefix+suffix merging to a fixpoint; returns states removed.
+def _refine_partition(automaton, neighbors, inverse, protected=frozenset()):
+    """Coarsest partition stable under (behaviour, neighbour-block-set).
 
-    This is the hardware-aware minimization FlexAmata applies after bitwise
-    decomposition: it cannot change the language (each individual merge is
-    language-preserving) and typically recovers most of the state blowup of
-    naive per-state decomposition.
+    Worklist signature refinement: start from the partition induced by
+    :meth:`Ste.behavior_key` (``protected`` ids get singleton blocks) and
+    split any block whose members see different *blocks* through
+    ``neighbors``.  When a split moves states to a fresh block id, only
+    the blocks holding their ``inverse`` neighbours are re-examined — the
+    id stays with the largest sub-block, so work is proportional to the
+    states that actually move, not to graph depth.  The coarsest stable
+    partition is unique, so the processing order cannot change the
+    result; no mutation happens until the merge is applied.
+
+    Returns ``state id -> block index``; within each block the survivor
+    chosen later is the member earliest in state insertion order.
+    """
+    block = {}
+    members = {}
+    blocks_seen = {}
+    for state_id in automaton.state_ids():
+        if state_id in protected:
+            key = ("protected", state_id)
+        else:
+            key = ("behavior", automaton.state(state_id).behavior_key())
+        index = blocks_seen.get(key)
+        if index is None:
+            index = blocks_seen[key] = len(blocks_seen)
+        block[state_id] = index
+        members.setdefault(index, []).append(state_id)
+    next_id = len(blocks_seen)
+    pending = {index for index, mem in members.items() if len(mem) > 1}
+    signatures = {}  # state id -> cached sig; stale only for dirty states
+    examined = set()  # blocks whose members are known sig-uniform
+    dirty = set(block)
+    while pending:
+        touched, pending = pending, set()
+        moved = []
+        for index in touched:
+            mem = members[index]
+            if len(mem) < 2:
+                continue
+            # Refresh stale signatures; a block is sig-uniform after its
+            # first examination, so if no refresh changed anything it
+            # cannot split now and regrouping is skipped entirely.
+            changed = index not in examined
+            for state_id in mem:
+                if state_id in dirty:
+                    dirty.discard(state_id)
+                    signature = frozenset(
+                        block[n] for n in neighbors(state_id))
+                    if signatures.get(state_id) != signature:
+                        signatures[state_id] = signature
+                        changed = True
+            if not changed:
+                continue
+            examined.add(index)
+            groups = {}
+            for state_id in mem:
+                groups.setdefault(signatures[state_id], []).append(state_id)
+            if len(groups) == 1:
+                continue
+            ordered = sorted(groups.values(), key=len, reverse=True)
+            members[index] = ordered[0]
+            for sub in ordered[1:]:
+                for state_id in sub:
+                    block[state_id] = next_id
+                members[next_id] = sub
+                examined.add(next_id)
+                moved.extend(sub)
+                next_id += 1
+        for state_id in moved:
+            for neighbor in inverse(state_id):
+                dirty.add(neighbor)
+                neighbor_block = block[neighbor]
+                if len(members[neighbor_block]) > 1:
+                    pending.add(neighbor_block)
+    return block
+
+
+def _apply_partition(automaton, block):
+    """Collapse each partition block onto its first member (quotient).
+
+    All edges are remapped onto the survivors before any state is
+    removed, so in/out edges of duplicates are pooled exactly as the
+    one-shot merge passes do.  Returns states removed.
+    """
+    ids = automaton.state_ids()
+    members = {}
+    for state_id in ids:
+        members.setdefault(block[state_id], []).append(state_id)
+    survivor = {state_id: members[block[state_id]][0] for state_id in ids}
+    for src, dst in list(automaton.transitions()):
+        remapped = (survivor[src], survivor[dst])
+        if remapped != (src, dst):
+            automaton.add_transition(*remapped)
+    removed = 0
+    for state_id in ids:
+        if survivor[state_id] != state_id:
+            automaton.remove_state(state_id)
+            removed += 1
+    return removed
+
+
+def _prefix_protected(automaton):
+    """Start states with no predecessors — never merged (see
+    :func:`merge_prefix_equivalent` for the placement rationale)."""
+    return frozenset(
+        state.id for state in automaton.start_states()
+        if not automaton.predecessors(state.id)
+    )
+
+
+def minimize(automaton, max_rounds=32):
+    """Partition-refinement minimization; returns states removed.
+
+    This is the hardware-aware minimization FlexAmata applies after
+    bitwise decomposition.  One cheap exact-signature screening pass
+    (one suffix + one prefix merge) runs first: on an already-minimal
+    machine — the common case for compiled registry workloads — it
+    removes nothing and minimization stops at the cost of a single
+    scan.  When the screen does find merges, the full partition
+    refinement takes over and computes each direction's coarsest stable
+    partition in one pass over the static graph:
+
+    - **suffix** — states in one block share behaviour and see the same
+      successor blocks, hence the same right language, so their incoming
+      edges can be pooled.  Unlike the one-shot exact-successor-set
+      merge, this reaches equivalences through cycles and collapses a
+      chain of ``L`` duplicate states in one pass instead of ``L``
+      mutate-and-rescan rounds (which :func:`minimize_legacy` caps at
+      ``max_rounds``, leaving long duplicates unmerged);
+    - **prefix** — states in one block share behaviour and the same
+      predecessor blocks, hence are always co-active, so their outgoing
+      edges can be pooled.  Start states with no predecessors stay
+      singleton blocks (merging them would weld independent rules into
+      one placement component).
+
+    The two directions alternate until neither shrinks the machine —
+    typically one refinement round plus one (much smaller) verification
+    round.
+    """
+    total = merge_suffix_equivalent(automaton)
+    total += merge_prefix_equivalent(automaton)
+    if total == 0:
+        return 0
+    for _ in range(max_rounds):
+        removed = _apply_partition(
+            automaton, _refine_partition(
+                automaton, automaton.successors, automaton.predecessors))
+        removed += _apply_partition(
+            automaton, _refine_partition(
+                automaton, automaton.predecessors, automaton.successors,
+                protected=_prefix_protected(automaton)))
+        total += removed
+        if removed == 0:
+            break
+    return total
+
+
+def minimize_legacy(automaton, max_rounds=32):
+    """The pre-refinement minimizer: iterate one-shot merges to fixpoint.
+
+    Each round rescans and mutates the whole graph, and a chain of ``L``
+    equivalent states needs ``L`` rounds to collapse.  Kept as the
+    baseline for ``scripts/bench_transform.py``; new code should call
+    :func:`minimize`.
     """
     total = 0
     for _ in range(max_rounds):

@@ -11,12 +11,18 @@ Commands
 ``workload``     generate a synthetic benchmark and print its Table-1 row
 ``trace``        cycle-by-cycle execution trace for debugging
 ``profile``      run any other command with telemetry collection on
+``cache``        inspect or clear the content-addressed transform cache
 
 ``match``, ``experiment``, and ``workload`` additionally accept
 ``--metrics-out metrics.json`` / ``--trace-out trace.json`` to export the
 telemetry gathered during the run (see docs/observability.md).  The
 workload-driven experiments accept ``--workers N`` to fan benchmark
 evaluations across processes (see docs/performance.md).
+
+The global ``--transform-cache DIR`` flag (or the
+``REPRO_TRANSFORM_CACHE`` environment variable) adds an on-disk tier to
+the transform cache, persisting compiled nibble/strided automata across
+runs and sharing them between ``--workers`` processes.
 """
 
 import argparse
@@ -30,6 +36,7 @@ from .errors import ReproError
 from .regex import compile_ruleset
 from .sim import stream_for
 from .sim.trace import Tracer
+from .transform import cache as transform_cache
 from .transform import to_rate, transform_overhead
 from .workloads import BENCHMARK_NAMES, generate
 
@@ -94,7 +101,7 @@ def cmd_transform(args):
 _SCALED_EXPERIMENTS = ("table1", "table3", "table4", "figure8", "scorecard")
 #: Experiments whose entry points fan out through ParallelRunner.
 _PARALLEL_EXPERIMENTS = ("table1", "table3", "table4",
-                         "figure8", "figure9", "figure10")
+                         "figure8", "figure9", "figure10", "scorecard")
 
 
 def cmd_experiment(args):
@@ -177,6 +184,24 @@ def cmd_compare(args):
     return 0
 
 
+def cmd_cache(args):
+    """Inspect or clear the content-addressed transform cache."""
+    cache = transform_cache.get_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cached entries" % removed)
+        return 0
+    info = cache.info()
+    stats = info.pop("stats")
+    width = max(len(key) for key in info)
+    for key, value in info.items():
+        print("%-*s  %s" % (width, key,
+                            value if value is not None else "(memory only)"))
+    print("%-*s  %s" % (width, "stats", ", ".join(
+        "%s=%d" % (key, stats[key]) for key in sorted(stats))))
+    return 0
+
+
 def cmd_trace(args):
     machine = _build_ruleset(args.patterns)
     tracer = Tracer(machine)
@@ -228,12 +253,20 @@ def cmd_profile(args):
     if inner.func is cmd_profile:
         print("error: profile cannot wrap itself", file=sys.stderr)
         return 2
+    _apply_transform_cache(inner)
     return _run_observed(
         inner.func, inner,
         getattr(inner, "metrics_out", None),
         getattr(inner, "trace_out", None),
         summarize=True,
     )
+
+
+def _apply_transform_cache(args):
+    """Honor ``--transform-cache`` by reconfiguring the process cache."""
+    directory = getattr(args, "transform_cache", None)
+    if directory:
+        transform_cache.configure(directory=directory)
 
 
 def _add_observability_flags(parser):
@@ -248,6 +281,10 @@ def build_parser():
         prog="repro",
         description="Sunder (MICRO'21) reproduction toolkit",
     )
+    parser.add_argument(
+        "--transform-cache", metavar="DIR", default=None,
+        help="persist compiled transform artifacts in DIR (also: "
+             "REPRO_TRANSFORM_CACHE)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = commands.add_parser(
@@ -318,6 +355,11 @@ def build_parser():
     trace_parser.add_argument("--max-cycles", type=int, default=100)
     trace_parser.set_defaults(func=cmd_trace)
 
+    cache_parser = commands.add_parser(
+        "cache", help="inspect or clear the transform cache")
+    cache_parser.add_argument("action", choices=["info", "clear"])
+    cache_parser.set_defaults(func=cmd_cache)
+
     profile_parser = commands.add_parser(
         "profile",
         help="run another command with metrics + span collection enabled")
@@ -334,6 +376,7 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _apply_transform_cache(args)
         metrics_out = getattr(args, "metrics_out", None)
         trace_out = getattr(args, "trace_out", None)
         if metrics_out or trace_out:

@@ -3,6 +3,12 @@
 For each benchmark, transform the 8-bit automaton to 1-, 2-, and 4-nibble
 processing and report the state and transition counts normalized to the
 original — the cost side of the throughput/density trade-off.
+
+All transforms run through the content-addressed cache
+(:mod:`repro.transform.cache`): the nibble and strided machines built
+here are the same artifacts Table 4 and the scorecard need, so a shared
+cache (or disk tier, for ``workers > 1``) makes later runs hit instead
+of re-transforming.
 """
 
 from ..sim.parallel import ParallelRunner

@@ -13,6 +13,11 @@ For every benchmark:
 Flush-count convention: we count flush *events summed over subarrays*
 (the paper's counting convention is not fully specified; see
 EXPERIMENTS.md for the comparison discussion).
+
+The ``to_rate`` transform in step 2 is served by the content-addressed
+transform cache, so a Table 3 run (or a previous Table 4 run) over the
+same ``(benchmark, scale, seed)`` machines makes the configure phase a
+cache hit.
 """
 
 from ..baselines.ap import ApReportingModel

@@ -102,6 +102,23 @@ class Instruments:
             "Output/input transition ratio per transformation stage.",
             ("stage",), buckets=RATIO_BUCKETS)
 
+        # --- transform cache (repro.transform.cache) ------------------
+        self.transform_cache_hits = counter(
+            "repro_transform_cache_hits_total",
+            "Transform-cache hits by serving tier.", ("tier",))
+        self.transform_cache_misses = counter(
+            "repro_transform_cache_misses_total",
+            "Transform-cache lookups that fell through to a rebuild.")
+        self.transform_cache_evictions = counter(
+            "repro_transform_cache_evictions_total",
+            "Entries evicted from the in-process LRU tier.")
+        self.transform_cache_corrupt = counter(
+            "repro_transform_cache_corrupt_total",
+            "On-disk artifacts that failed to decode (served as misses).")
+        self.transform_cache_bytes_written = counter(
+            "repro_transform_cache_bytes_written_total",
+            "Bytes of artifact JSON written to the disk tier.")
+
         # --- experiment harnesses (repro.experiments) -----------------
         self.experiment_runs = counter(
             "repro_experiment_runs_total",

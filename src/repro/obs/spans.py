@@ -79,6 +79,11 @@ class _ActiveSpan:
         self._span.attrs = dict(self._span.attrs, **attrs)
         return self
 
+    @property
+    def duration(self):
+        """Wall-time seconds of the span (None while still open)."""
+        return self._span.duration
+
 
 class _NullSpan:
     """No-op stand-in returned when no trace collector is attached."""
@@ -93,6 +98,8 @@ class _NullSpan:
 
     def set_attr(self, **attrs):
         return self
+
+    duration = None
 
 
 NULL_SPAN = _NullSpan()

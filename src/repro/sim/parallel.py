@@ -41,6 +41,15 @@ def default_workers():
     return os.cpu_count() or 1
 
 
+def _initialize_worker(cache_directory):
+    """Process-pool initializer: point the worker's transform cache at
+    the parent's artifact directory so workers share compiled automata
+    through the disk tier instead of re-transforming per process."""
+    from ..transform.cache import configure
+
+    configure(directory=cache_directory)
+
+
 class ParallelRunner:
     """Deterministic-order parallel ``map`` with serial fallback.
 
@@ -77,10 +86,15 @@ class ParallelRunner:
         results = None
         pool_workers = min(self.workers, len(jobs)) if jobs else 1
         if pool_workers > 1:
+            from ..transform.cache import get_cache
+            cache_directory = get_cache().directory
             with trace_span("parallel.map", workers=pool_workers,
                             jobs=len(jobs)):
                 try:
-                    with ProcessPoolExecutor(max_workers=pool_workers) as pool:
+                    with ProcessPoolExecutor(
+                            max_workers=pool_workers,
+                            initializer=_initialize_worker,
+                            initargs=(cache_directory,)) as pool:
                         results = list(pool.map(func, jobs,
                                                 chunksize=self.chunksize))
                     mode = "process"

@@ -1,0 +1,294 @@
+"""Content-addressed cache for transformation pipeline results.
+
+The Section 4 pipeline (``to_nibbles`` -> ``square``/``stride``) is pure:
+its output is fully determined by the source automaton's structure and
+the transform parameters.  Like Impala's offline 4-bit transformation,
+it is a one-time compilation cost — so results are cached under a
+content-addressed key and reused across experiments (Table 3 and Table 4
+share the intermediate nibble machine), across repeated CLI runs, and
+across ``ParallelRunner`` worker processes.
+
+Two tiers:
+
+- **memory** — an in-process LRU of master automata; hits return a
+  :meth:`~repro.automata.Automaton.copy` so callers can mutate freely.
+- **disk** — an artifact directory of versioned compact JSON payloads
+  (``<key>.json``), shared between processes.  Writes go through a
+  temporary file plus :func:`os.replace` so concurrent writers and
+  readers never observe a partial entry; a corrupt or truncated
+  artifact degrades to a miss (and a warning metric), never a crash.
+
+Keys are ``sha256(op, code-version salt, source fingerprint, params)``.
+The salt (:data:`CODE_VERSION`) must be bumped whenever the semantics of
+any cached transform change, which invalidates every existing entry.
+"""
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+
+from ..automata.automaton import Automaton
+from ..errors import AutomatonError
+from ..obs import OBS, trace_span
+
+#: Pipeline code-version salt mixed into every cache key.  Bump this
+#: whenever ``to_nibbles``/``square``/``stride``/``minimize`` semantics
+#: change so stale artifacts from older code can never be returned.
+CODE_VERSION = "2026.08-1"
+
+#: Environment variable naming the on-disk artifact directory.  When
+#: unset, the cache is memory-only.
+ENV_VAR = "REPRO_TRANSFORM_CACHE"
+
+#: Default capacity (entries) of the in-process LRU tier.
+DEFAULT_MEMORY_ENTRIES = 128
+
+_STAT_KEYS = ("memory_hits", "disk_hits", "misses", "stores",
+              "evictions", "corrupt")
+
+
+class TransformCache:
+    """Two-tier (memory LRU + disk directory) content-addressed store."""
+
+    def __init__(self, directory=None, memory_entries=DEFAULT_MEMORY_ENTRIES):
+        self.directory = os.path.abspath(directory) if directory else None
+        self.memory_entries = max(0, int(memory_entries))
+        self._memory = OrderedDict()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.stats = dict.fromkeys(_STAT_KEYS, 0)
+
+    # -- keys ----------------------------------------------------------
+    @staticmethod
+    def key(op, source, **params):
+        """Content-addressed key: op + salt + source structure + params."""
+        digest = hashlib.sha256()
+        digest.update(("%s\x00%s\x00%s\x00" % (
+            CODE_VERSION, op, source.fingerprint(),
+        )).encode("utf-8"))
+        for name in sorted(params):
+            digest.update(("%s=%r\x00" % (name, params[name])).encode(
+                "utf-8", "surrogatepass"))
+        return digest.hexdigest()
+
+    # -- lookup / store ------------------------------------------------
+    def get(self, key, op="?"):
+        """Cached automaton for ``key`` (a fresh copy) or ``None``.
+
+        A disk hit is promoted into the memory tier.  Undecodable disk
+        artifacts count as ``corrupt`` misses and are left in place for
+        post-mortem inspection (the next store overwrites them).
+        """
+        with self._lock:
+            master = self._memory.get(key)
+            if master is not None:
+                self._memory.move_to_end(key)
+        if master is not None:
+            self._record("memory_hits", op=op, tier="memory")
+            return master.copy()
+        master = self._disk_get(key, op)
+        if master is not None:
+            self._remember(key, master)
+            self._record("disk_hits", op=op, tier="disk")
+            return master.copy()
+        self._record("misses", op=op)
+        return None
+
+    def put(self, key, automaton, op="?"):
+        """Store ``automaton`` under ``key`` in every configured tier."""
+        self._remember(key, automaton.copy())
+        self._record("stores", op=op)
+        if self.directory is None:
+            return
+        text = automaton.dumps()
+        path = self._path(key)
+        tmp = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        if OBS.active:
+            OBS.instruments.transform_cache_bytes_written.inc(len(text))
+
+    def fetch(self, op, source, build, **params):
+        """Memoize ``build()``: return ``(automaton, hit)``.
+
+        ``hit`` is the serving tier (``"memory"``/``"disk"``) or ``None``
+        when ``build`` actually ran.
+        """
+        key = self.key(op, source, **params)
+        if OBS.active:
+            with trace_span("transform.cache", op=op, key=key[:16]) as span:
+                found = self.get(key, op=op)
+                span.set_attr(tier=self._last_tier if found is not None
+                              else "miss")
+        else:
+            found = self.get(key, op=op)
+        if found is not None:
+            return found, self._last_tier
+        result = build()
+        self.put(key, result, op=op)
+        return result, None
+
+    # -- maintenance ---------------------------------------------------
+    def info(self):
+        """Snapshot of configuration, occupancy, and counters."""
+        disk_entries = 0
+        disk_bytes = 0
+        for path in self._disk_paths():
+            try:
+                disk_bytes += os.path.getsize(path)
+                disk_entries += 1
+            except OSError:
+                continue
+        with self._lock:
+            memory_used = len(self._memory)
+        return {
+            "directory": self.directory,
+            "code_version": CODE_VERSION,
+            "memory_entries": self.memory_entries,
+            "memory_used": memory_used,
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "stats": dict(self.stats),
+        }
+
+    def clear(self, memory=True, disk=True):
+        """Drop cached entries; returns the number removed."""
+        removed = 0
+        if memory:
+            with self._lock:
+                removed += len(self._memory)
+                self._memory.clear()
+        if disk:
+            for path in self._disk_paths():
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    # -- internals -----------------------------------------------------
+    @property
+    def _last_tier(self):
+        """Serving tier of this thread's last lookup (None on miss)."""
+        return getattr(self._tls, "tier", None)
+
+    def _path(self, key):
+        return os.path.join(self.directory, key + ".json")
+
+    def _disk_paths(self):
+        if self.directory is None:
+            return []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [os.path.join(self.directory, name)
+                for name in sorted(names) if name.endswith(".json")]
+
+    def _disk_get(self, key, op):
+        if self.directory is None:
+            return None
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        try:
+            return Automaton.loads(text)
+        except AutomatonError:
+            self._record("corrupt", op=op)
+            return None
+
+    def _remember(self, key, master):
+        if self.memory_entries == 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._memory[key] = master
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                evicted += 1
+        for _ in range(evicted):
+            self._record("evictions")
+
+    def _record(self, stat, op=None, tier=None):
+        self.stats[stat] += 1
+        if stat.endswith("_hits"):
+            self._tls.tier = tier
+        elif stat == "misses":
+            self._tls.tier = None
+        if not OBS.active:
+            return
+        instruments = OBS.instruments
+        if stat.endswith("_hits"):
+            instruments.transform_cache_hits.labels(tier=tier).inc()
+        elif stat == "misses":
+            instruments.transform_cache_misses.inc()
+        elif stat == "evictions":
+            instruments.transform_cache_evictions.inc()
+        elif stat == "corrupt":
+            instruments.transform_cache_corrupt.inc()
+
+
+class _ThreadState(threading.local):
+    hit = None
+
+
+_STATE = _ThreadState()
+_ACTIVE = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_cache():
+    """The process-wide cache (created on first use from :data:`ENV_VAR`)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        with _ACTIVE_LOCK:
+            if _ACTIVE is None:
+                _ACTIVE = TransformCache(
+                    directory=os.environ.get(ENV_VAR) or None)
+    return _ACTIVE
+
+
+def configure(directory=None, memory_entries=DEFAULT_MEMORY_ENTRIES):
+    """Replace the process-wide cache; returns the new one.
+
+    ``ParallelRunner`` workers call this from their initializer so every
+    process shares one artifact directory.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = TransformCache(
+            directory=directory, memory_entries=memory_entries)
+    return _ACTIVE
+
+
+def memoize(op, source, build, **params):
+    """Serve ``build()`` through the process-wide cache.
+
+    Records whether the *outermost* memoized call of the current
+    pipeline stage was a hit (see :func:`last_call_was_hit`): the flag
+    is written after ``build`` returns, so inner hits during an outer
+    miss — e.g. a cached ``square`` inside an uncached ``stride`` — do
+    not mislabel the stage.
+    """
+    result, tier = get_cache().fetch(op, source, build, **params)
+    _STATE.hit = tier is not None
+    return result
+
+
+def last_call_was_hit():
+    """Whether the last top-level :func:`memoize` on this thread hit."""
+    return bool(_STATE.hit)

@@ -20,6 +20,7 @@ from ..automata.automaton import Automaton
 from ..automata.ops import minimize
 from ..automata.symbolset import SymbolSet
 from ..errors import TransformError
+from .cache import memoize
 
 
 def _decompose_wide(symbol_set, nibbles):
@@ -69,15 +70,29 @@ def to_nibbles(automaton, minimized=True, name=None):
         disable to measure the naive decomposition overhead).
     name:
         Name of the produced automaton (default: ``<src>.nibble``).
+
+    Results are served through the content-addressed transform cache
+    (see :mod:`repro.transform.cache`): repeated calls with a
+    structurally identical source return a copy of the first build.
     """
     if automaton.bits == 16 and automaton.arity == 1:
-        return _to_nibbles_wide(automaton, minimized=minimized, name=name)
-    if automaton.bits != 8 or automaton.arity != 1:
+        build = lambda: _to_nibbles_wide(
+            automaton, minimized=minimized, name=name)
+    elif automaton.bits == 8 and automaton.arity == 1:
+        build = lambda: _to_nibbles_bytes(
+            automaton, minimized=minimized, name=name)
+    else:
         raise TransformError(
             "nibble transformation expects an 8- or 16-bit arity-1 "
             "automaton, got %d-bit arity-%d"
             % (automaton.bits, automaton.arity)
         )
+    return memoize("nibble", automaton, build,
+                   minimized=minimized, name=name)
+
+
+def _to_nibbles_bytes(automaton, minimized=True, name=None):
+    """8-bit -> 4-bit decomposition: (high, low) nibble chains."""
     result = Automaton(
         name=name if name is not None else automaton.name + ".nibble",
         bits=4,

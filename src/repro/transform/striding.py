@@ -37,6 +37,7 @@ from ..automata.ops import minimize
 from ..automata.ste import StartKind
 from ..automata.symbolset import SymbolSet
 from ..errors import TransformError
+from .cache import memoize
 
 #: Sentinel ids for wildcard halves in generated state names.
 _END = "$end"
@@ -51,11 +52,18 @@ def square(automaton, minimized=True, name=None):
     strided cycle — no phase states needed.  Period 1 allows mid-vector
     starts, handled by wildcard-prefixed phase states.
     """
-    period = automaton.start_period
-    if period != 1 and period % 2 != 0:
+    if automaton.start_period != 1 and automaton.start_period % 2 != 0:
         raise TransformError(
-            "cannot square an automaton with odd start period %d" % period
+            "cannot square an automaton with odd start period %d"
+            % automaton.start_period
         )
+    return memoize("square", automaton,
+                   lambda: _square(automaton, minimized, name),
+                   minimized=minimized, name=name)
+
+
+def _square(automaton, minimized, name):
+    period = automaton.start_period
     arity = automaton.arity
     full = SymbolSet.full(automaton.bits)
     wildcard_half = (full,) * arity
@@ -126,13 +134,23 @@ def square(automaton, minimized=True, name=None):
 
     # ------------------------------------------------------------------
     # Transitions: (x, s) -> every state whose first half is in succ(s).
+    # The flattened entry-point list of each second half is computed once
+    # and shared by every pair state ending in it, instead of walking
+    # successors() and probing entry_points per source edge.
     # ------------------------------------------------------------------
+    succ_entries = {}  # source id s -> new ids entered from succ(s)
     for (first_id, second_id), new_src in new_ids.items():
         if second_id == _END:
             continue
-        for follower in automaton.successors(second_id):
-            for new_dst in entry_points.get(follower, ()):
-                result.add_transition(new_src, new_dst)
+        targets = succ_entries.get(second_id)
+        if targets is None:
+            targets = succ_entries[second_id] = [
+                new_dst
+                for follower in sorted(automaton.successors(second_id))
+                for new_dst in entry_points.get(follower, ())
+            ]
+        for new_dst in targets:
+            result.add_transition(new_src, new_dst)
 
     result.prune_unreachable()
     if minimized:
@@ -141,18 +159,30 @@ def square(automaton, minimized=True, name=None):
 
 
 def stride(automaton, factor, minimized=True):
-    """Stride by ``factor`` (a power of two) via repeated squaring."""
+    """Stride by ``factor`` (a power of two) via repeated squaring.
+
+    Only the *final* machine is minimized: intermediate squarings are
+    pruned of unreachable states but skip minimization, since the final
+    partition refinement subsumes any merging an intermediate pass would
+    have done and the per-squaring passes dominated striding cost.
+    """
     if factor < 1 or factor & (factor - 1):
         raise TransformError("stride factor must be a power of two, got %r" % factor)
-    current = automaton
-    applied = 1
-    while applied < factor:
-        current = square(current, minimized=minimized)
-        applied *= 2
-    if current is automaton:
-        current = automaton.copy()
-    current.name = automaton.name + (".x%d" % factor if factor > 1 else "")
-    return current
+
+    def build():
+        current = automaton
+        applied = 1
+        while applied < factor:
+            applied *= 2
+            current = square(
+                current, minimized=minimized and applied >= factor)
+        if current is automaton:
+            current = automaton.copy()
+        current.name = automaton.name + (".x%d" % factor if factor > 1 else "")
+        return current
+
+    return memoize("stride", automaton, build,
+                   factor=factor, minimized=minimized)
 
 
 def verify_offset_invariant(automaton):

@@ -92,6 +92,71 @@ class TestMinimize:
             assert got == want, (seed, trial, data)
 
 
+class TestPartitionRefinement:
+    """The refinement minimizer must subsume the legacy round-based one."""
+
+    def _dup_union(self, copies, length):
+        return union([single_pattern("dup", bytes([65] * length))
+                      for _ in range(copies)], name="dup")
+
+    def test_collapses_long_duplicate_chains_fully(self):
+        # 40 duplicate 64-state chains need 64 legacy rounds — beyond the
+        # 32-round cap — but one refinement pass collapses them all.
+        from repro.automata.ops import minimize_legacy
+        machine = self._dup_union(40, 64)
+        legacy = self._dup_union(40, 64)
+        minimize(machine)
+        minimize_legacy(legacy)
+        assert len(machine) == 64
+        assert len(legacy) > len(machine)
+
+    def test_merges_through_cycles(self):
+        # Two identical self-looping reporters: exact-successor matching
+        # sees different ids through the loops, refinement merges them.
+        automaton = Automaton(bits=8)
+        automaton.new_state("s", SymbolSet.of(8, [1]), start="all-input")
+        for name in ("a", "b"):
+            automaton.new_state(name, SymbolSet.of(8, [2]),
+                                report=True, report_code="r")
+            automaton.add_transition("s", name)
+            automaton.add_transition(name, name)
+        minimize(automaton)
+        assert len(automaton) == 2
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_never_merges_less_than_legacy(self, seed):
+        from repro.automata.ops import minimize_legacy
+        rng = random.Random(seed)
+        automaton = random_automaton(rng, n_states=12, bits=4,
+                                     edge_density=0.35)
+        legacy = automaton.copy()
+        removed = minimize(automaton)
+        removed_legacy = minimize_legacy(legacy)
+        assert removed >= removed_legacy
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_with_legacy_language(self, seed):
+        from repro.automata.ops import minimize_legacy
+        rng = random.Random(1000 + seed)
+        automaton = random_automaton(rng, n_states=10, bits=4,
+                                     edge_density=0.3)
+        legacy = automaton.copy()
+        minimize(automaton)
+        minimize_legacy(legacy)
+        for trial in range(8):
+            data = [rng.randrange(16) for _ in range(rng.randint(0, 25))]
+            got = BitsetEngine(automaton).run(data).event_keys()
+            want = BitsetEngine(legacy).run(data).event_keys()
+            assert got == want, (seed, trial, data)
+
+    def test_keeps_distinct_rules_separate(self):
+        # Rules with distinct report codes must not be welded together.
+        machine = union([single_pattern("a", b"xy", report_code="a"),
+                         single_pattern("b", b"xy", report_code="b")])
+        minimize(machine)
+        assert len(connected_components(machine)) == 2
+
+
 class TestReachability:
     def test_reachable_from(self):
         machine = single_pattern("a", b"abc")
