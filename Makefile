@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine bench-transform repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform bench-runtime repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -19,6 +19,9 @@ bench-engine:
 
 bench-transform:
 	$(PYTHON) scripts/bench_transform.py --scale $(SCALE) --out BENCH_transform.json
+
+bench-runtime:
+	$(PYTHON) scripts/bench_runtime.py --scale $(SCALE) --out BENCH_runtime.json
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py $(SCALE)

@@ -1,0 +1,47 @@
+"""Tier-2 smoke: the runtime benchmark payload validates its schema.
+
+Mirrors ``make bench-runtime`` at a tiny scale so drift in the
+``BENCH_runtime.json`` trajectory format — or a regression that makes a
+warm artifact store re-execute the expensive stages or diverge from the
+cold run — fails fast, the same way ``test_bench_transform_payload_schema``
+pins the transform suite.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_runtime  # noqa: E402
+
+
+def test_bench_runtime_payload_schema(bench_scale, tmp_path):
+    out = tmp_path / "BENCH_runtime.json"
+    code = bench_runtime.main([
+        "--scale", str(min(bench_scale, 0.003)),
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_runtime.validate_payload(payload)
+    assert payload["identical"] is True
+    for stage in bench_runtime.WARM_CACHED_STAGES:
+        assert payload["warm_stages"][stage]["misses"] == 0
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_runtime.validate_payload({"schema": "something-else"})
+    payload = bench_runtime.run_suite(scale=0.002)
+    bench_runtime.validate_payload(payload)
+    broken = json.loads(json.dumps(payload))
+    broken["identical"] = False
+    with pytest.raises(ValueError):
+        bench_runtime.validate_payload(broken)
+    rerun = json.loads(json.dumps(payload))
+    rerun["warm_stages"]["generate"]["misses"] = 5
+    with pytest.raises(ValueError):
+        bench_runtime.validate_payload(rerun)

@@ -1,0 +1,177 @@
+"""Stage-graph runtime benchmark suite -> ``BENCH_runtime.json``.
+
+Usage:  python scripts/bench_runtime.py [--scale S] [--out PATH]
+                                        [--artifact-dir DIR]
+
+Measures the scorecard — the heaviest composite experiment — twice
+against one on-disk artifact directory:
+
+- **cold** — an empty store: every cacheable stage (generate,
+  simulate8, to_rate, simulate_strided, row derivations) executes and
+  writes its artifact;
+- **warm** — a fresh store over the same directory (memory tier
+  dropped): the expensive stages must be served entirely from disk,
+  with *zero* generate/simulate8/to_rate executions, and the rendered
+  scorecard must be byte-identical to the cold run.
+
+Per-stage hit/miss counts come from the
+``repro_runtime_stage_{hits,misses}_total`` instruments gathered during
+each run.  Writes one JSON payload (schema pinned by
+``validate_payload`` and the tier-2 smoke
+``benchmarks/test_bench_runtime.py``).  Run via ``make bench-runtime``.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro import obs  # noqa: E402
+from repro.experiments import scorecard  # noqa: E402
+from repro.runtime import store as runtime_store  # noqa: E402
+from repro.transform import cache as transform_cache  # noqa: E402
+
+#: Schema identifier written into (and required from) every payload.
+SCHEMA = "repro-bench-runtime"
+SCHEMA_VERSION = 1
+
+#: Stages a warm store must serve without a single execution.
+WARM_CACHED_STAGES = ("generate", "simulate8", "to_rate")
+
+
+def _stage_counts(registry):
+    """``{stage: {"hits": n, "misses": n}}`` from one run's registry."""
+    counts = {}
+    for family, field in (("repro_runtime_stage_hits_total", "hits"),
+                          ("repro_runtime_stage_misses_total", "misses")):
+        metric = registry.get(family)
+        if metric is None:
+            continue
+        for sample in metric.samples():
+            stage = sample["labels"]["stage"]
+            counts.setdefault(stage, {"hits": 0, "misses": 0})
+            counts[stage][field] = sample["value"]
+    return counts
+
+
+def _timed_scorecard(scale, seed):
+    """(render text, wall seconds, per-stage counts) for one run."""
+    registry = obs.MetricsRegistry()
+    with obs.collecting(registry=registry):
+        start = time.perf_counter()
+        claims = scorecard.build_scorecard(scale=scale, seed=seed)
+        seconds = time.perf_counter() - start
+    return scorecard.render(claims), seconds, _stage_counts(registry)
+
+
+def run_suite(scale=0.01, seed=0, artifact_dir=None):
+    """Measure cold vs warm; returns the BENCH_runtime payload dict."""
+    with tempfile.TemporaryDirectory() as tmp:
+        directory = artifact_dir or tmp
+        transform_cache.configure()
+        runtime_store.configure(directory=directory)
+        cold_text, cold_seconds, cold_stages = _timed_scorecard(scale, seed)
+
+        # A fresh store over the same directory drops the memory tier:
+        # the warm run exercises exactly the on-disk artifact path.
+        transform_cache.configure()
+        runtime_store.configure(directory=directory)
+        warm_text, warm_seconds, warm_stages = _timed_scorecard(scale, seed)
+        info = runtime_store.get_store().info()
+    runtime_store.configure()  # leave no benchmark state behind
+    transform_cache.configure()
+
+    return {
+        "version": SCHEMA_VERSION,
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "code_version": runtime_store.CODE_VERSION,
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "warm_speedup": cold_seconds / warm_seconds,
+        "cold_stages": cold_stages,
+        "warm_stages": warm_stages,
+        "disk_entries": info["disk_entries"],
+        "disk_bytes": info["disk_bytes"],
+        "identical": cold_text == warm_text,
+    }
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("BENCH_runtime payload invalid: %s" % message)
+
+
+def validate_payload(payload):
+    """Schema check for the trajectory file; raises ValueError on drift.
+
+    Returns the payload unchanged so callers can chain.
+    """
+    _require(isinstance(payload, dict), "expected an object")
+    _require(payload.get("schema") == SCHEMA, "schema != %r" % SCHEMA)
+    _require(payload.get("version") == SCHEMA_VERSION,
+             "version != %d" % SCHEMA_VERSION)
+    for field in ("scale", "cold_seconds", "warm_seconds", "warm_speedup"):
+        _require(isinstance(payload.get(field), (int, float))
+                 and payload[field] > 0, "%s must be a positive number" % field)
+    _require(isinstance(payload.get("seed"), int), "seed must be an int")
+    _require(isinstance(payload.get("code_version"), str), "code_version")
+    _require(payload.get("identical") is True,
+             "warm scorecard diverged from the cold run")
+    _require(payload.get("disk_entries", 0) > 0, "no artifacts were written")
+    _require(payload.get("disk_bytes", 0) > 0, "artifact bytes")
+    for field in ("cold_stages", "warm_stages"):
+        _require(isinstance(payload.get(field), dict) and payload[field],
+                 "%s must be a non-empty object" % field)
+        for stage, counts in payload[field].items():
+            for kind in ("hits", "misses"):
+                _require(isinstance(counts.get(kind), (int, float))
+                         and counts[kind] >= 0,
+                         "%s[%s].%s" % (field, stage, kind))
+    for stage in WARM_CACHED_STAGES:
+        counts = payload["warm_stages"].get(stage, {"hits": 0, "misses": 0})
+        _require(counts["misses"] == 0,
+                 "warm run executed cached stage %r" % stage)
+        _require(counts["hits"] > 0,
+                 "warm run never demanded cached stage %r" % stage)
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--artifact-dir", default=None,
+                        help="persist artifacts here instead of a temp dir")
+    parser.add_argument("--out", default="BENCH_runtime.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale, seed=args.seed,
+                        artifact_dir=args.artifact_dir)
+    validate_payload(payload)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    print("scorecard  cold %7.2fs   warm %7.2fs   (%.1fx, %d artifacts, "
+          "%.1f KiB)" % (
+              payload["cold_seconds"], payload["warm_seconds"],
+              payload["warm_speedup"], payload["disk_entries"],
+              payload["disk_bytes"] / 1024.0))
+    width = max(len(stage) for stage in payload["warm_stages"])
+    for stage in sorted(payload["warm_stages"]):
+        cold = payload["cold_stages"].get(stage, {"hits": 0, "misses": 0})
+        warm = payload["warm_stages"][stage]
+        print("  %-*s  cold %3d run / %3d hit   warm %3d run / %3d hit" % (
+            width, stage, cold["misses"], cold["hits"],
+            warm["misses"], warm["hits"]))
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

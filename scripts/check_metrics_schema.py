@@ -8,8 +8,9 @@ Runs ``python -m repro profile experiment table4 --metrics-out ...
 - the metrics JSON against the snapshot schema
   (:func:`repro.obs.validate_snapshot`), including the presence of the
   documented core metric families, and
-- the Chrome trace file's structure, including the nested
-  configure -> run -> report-drain stage spans.
+- the Chrome trace file's structure, including the runtime's
+  generate -> simulate -> transform -> report-drain stage spans nested
+  under the experiment span.
 
 Exits non-zero on any drift, so the exposition format is pinned in CI
 (``make profile-smoke``).
@@ -24,6 +25,7 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 from repro.cli import main as repro_main  # noqa: E402
 from repro.obs import validate_snapshot  # noqa: E402
+from repro.runtime import store as runtime_store  # noqa: E402
 from repro.transform import cache as transform_cache  # noqa: E402
 
 #: Metric families the profiled table4 run must populate.
@@ -33,15 +35,18 @@ REQUIRED_METRICS = (
     "repro_engine_active_states",
     "repro_transform_runs_total",
     "repro_transform_stage_seconds",
+    "repro_runtime_stage_misses_total",
+    "repro_runtime_stage_seconds",
     "repro_experiment_runs_total",
     "repro_experiment_seconds",
 )
 #: Stage spans that must appear, nested under the experiment span.
 REQUIRED_SPANS = (
     "experiment.table4",
-    "table4.configure",
-    "table4.run",
-    "table4.report_drain",
+    "stage.generate",
+    "stage.simulate8",
+    "stage.to_rate",
+    "stage.report_drain",
     "engine.run",
     "reporting.drain_model",
 )
@@ -53,10 +58,12 @@ def fail(message):
 
 
 def check(scale="0.002"):
-    # A warm transform cache would serve every stage as a hit, which is
-    # (correctly) excluded from repro_transform_stage_seconds — pin the
-    # cold-run exposition by starting from a fresh memory-only cache.
+    # A warm transform cache or artifact store would serve every stage
+    # as a hit, which is (correctly) excluded from the *_seconds
+    # histograms — pin the cold-run exposition by starting from fresh
+    # memory-only stores.
     transform_cache.configure()
+    runtime_store.configure()
     with tempfile.TemporaryDirectory() as tmp:
         metrics_path = pathlib.Path(tmp) / "metrics.json"
         trace_path = pathlib.Path(tmp) / "trace.json"
@@ -94,7 +101,8 @@ def check(scale="0.002"):
         if missing_spans:
             return fail("trace lacks stage spans: %s" % missing_spans)
         experiment_depth = by_name["experiment.table4"]["args"]["depth"]
-        for stage in ("table4.configure", "table4.run", "table4.report_drain"):
+        for stage in ("stage.generate", "stage.simulate8",
+                      "stage.to_rate", "stage.report_drain"):
             if by_name[stage]["args"]["depth"] <= experiment_depth:
                 return fail("span %s is not nested under the experiment"
                             % stage)

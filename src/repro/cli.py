@@ -12,6 +12,7 @@ Commands
 ``trace``        cycle-by-cycle execution trace for debugging
 ``profile``      run any other command with telemetry collection on
 ``cache``        inspect or clear the content-addressed transform cache
+``runtime``      inspect or clear the stage-graph artifact store
 
 ``match``, ``experiment``, and ``workload`` additionally accept
 ``--metrics-out metrics.json`` / ``--trace-out trace.json`` to export the
@@ -23,9 +24,18 @@ The global ``--transform-cache DIR`` flag (or the
 ``REPRO_TRANSFORM_CACHE`` environment variable) adds an on-disk tier to
 the transform cache, persisting compiled nibble/strided automata across
 runs and sharing them between ``--workers`` processes.
+
+The global ``--artifact-dir DIR`` flag (or the ``REPRO_ARTIFACT_DIR``
+environment variable) does the same for the stage-graph runtime's
+artifact store: generated workloads, simulation report streams, and
+result rows persist across runs, so a warm directory re-renders every
+table without re-executing the expensive stages.  Unless
+``--transform-cache`` names its own directory, the transform cache
+piggybacks on ``DIR/transforms``.
 """
 
 import argparse
+import os
 import sys
 
 from . import experiments, obs
@@ -34,6 +44,7 @@ from .automata.viz import outline, to_dot
 from .core import SunderConfig, SunderDevice
 from .errors import ReproError
 from .regex import compile_ruleset
+from .runtime import store as runtime_store
 from .sim import stream_for
 from .sim.trace import Tracer
 from .transform import cache as transform_cache
@@ -191,7 +202,11 @@ def cmd_cache(args):
         removed = cache.clear()
         print("removed %d cached entries" % removed)
         return 0
-    info = cache.info()
+    _print_store_info(cache.info())
+    return 0
+
+
+def _print_store_info(info):
     stats = info.pop("stats")
     width = max(len(key) for key in info)
     for key, value in info.items():
@@ -199,6 +214,16 @@ def cmd_cache(args):
                             value if value is not None else "(memory only)"))
     print("%-*s  %s" % (width, "stats", ", ".join(
         "%s=%d" % (key, stats[key]) for key in sorted(stats))))
+
+
+def cmd_runtime(args):
+    """Inspect or clear the stage-graph artifact store."""
+    store = runtime_store.get_store()
+    if args.action == "clear":
+        removed = store.clear()
+        print("removed %d cached artifacts" % removed)
+        return 0
+    _print_store_info(store.info())
     return 0
 
 
@@ -253,7 +278,7 @@ def cmd_profile(args):
     if inner.func is cmd_profile:
         print("error: profile cannot wrap itself", file=sys.stderr)
         return 2
-    _apply_transform_cache(inner)
+    _apply_store_flags(inner)
     return _run_observed(
         inner.func, inner,
         getattr(inner, "metrics_out", None),
@@ -262,11 +287,22 @@ def cmd_profile(args):
     )
 
 
-def _apply_transform_cache(args):
-    """Honor ``--transform-cache`` by reconfiguring the process cache."""
-    directory = getattr(args, "transform_cache", None)
-    if directory:
-        transform_cache.configure(directory=directory)
+def _apply_store_flags(args):
+    """Honor ``--transform-cache`` / ``--artifact-dir`` by reconfiguring
+    the process-wide stores.
+
+    With ``--artifact-dir`` alone, the transform cache defaults to a
+    ``transforms/`` subdirectory so one flag persists every artifact
+    kind; an explicit ``--transform-cache`` wins.
+    """
+    cache_directory = getattr(args, "transform_cache", None)
+    artifact_directory = getattr(args, "artifact_dir", None)
+    if artifact_directory:
+        runtime_store.configure(directory=artifact_directory)
+        if not cache_directory:
+            cache_directory = os.path.join(artifact_directory, "transforms")
+    if cache_directory:
+        transform_cache.configure(directory=cache_directory)
 
 
 def _add_observability_flags(parser):
@@ -285,6 +321,11 @@ def build_parser():
         "--transform-cache", metavar="DIR", default=None,
         help="persist compiled transform artifacts in DIR (also: "
              "REPRO_TRANSFORM_CACHE)")
+    parser.add_argument(
+        "--artifact-dir", metavar="DIR", default=None,
+        help="persist stage-graph artifacts (workloads, simulation "
+             "runs, result rows) in DIR (also: REPRO_ARTIFACT_DIR); "
+             "the transform cache defaults to DIR/transforms")
     commands = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = commands.add_parser(
@@ -360,6 +401,11 @@ def build_parser():
     cache_parser.add_argument("action", choices=["info", "clear"])
     cache_parser.set_defaults(func=cmd_cache)
 
+    runtime_parser = commands.add_parser(
+        "runtime", help="inspect or clear the stage-graph artifact store")
+    runtime_parser.add_argument("action", choices=["info", "clear"])
+    runtime_parser.set_defaults(func=cmd_runtime)
+
     profile_parser = commands.add_parser(
         "profile",
         help="run another command with metrics + span collection enabled")
@@ -376,7 +422,7 @@ def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        _apply_transform_cache(args)
+        _apply_store_flags(args)
         metrics_out = getattr(args, "metrics_out", None)
         trace_out = getattr(args, "trace_out", None)
         if metrics_out or trace_out:

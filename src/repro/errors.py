@@ -55,3 +55,11 @@ class ObservabilityError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received unsatisfiable parameters."""
+
+
+class ArtifactError(ReproError):
+    """A content-addressed artifact could not be decoded or round-tripped."""
+
+
+class StageGraphError(ReproError):
+    """A stage graph was constructed or executed inconsistently."""

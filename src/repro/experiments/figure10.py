@@ -6,12 +6,15 @@ with and without report summarization (Section 5.1.2).
 
 The paper's anchors: negligible below 5% reporting, 7x worst case
 without summarization, 1.4x with 16-row-batch summarization.
+
+Each sweep point is one ``figure10_point`` stage in the runtime graph
+(closed-form, so uncached); the scheduler fans points across ``workers``
+with rows in sweep order at any count.
 """
 
 from ..core.config import SunderConfig
-from ..core.perfmodel import sensitivity_slowdown
+from ..runtime import Runtime, StageGraph
 from ..obs import instrumented_experiment
-from ..sim.parallel import ParallelRunner
 from .formatting import format_table
 
 #: The sweep points shown in the paper's figure.
@@ -24,21 +27,13 @@ COLUMNS = [
 ]
 
 
-def _evaluate_job(job):
-    """One sweep point's row from a picklable (pct, config) spec."""
-    pct, config = job
-    fraction = pct / 100.0
-    return {
-        "report_cycle_pct": pct,
-        "slowdown": sensitivity_slowdown(fraction, summarize=False,
-                                         config=config),
-        "slowdown_summarized": sensitivity_slowdown(
-            fraction, summarize=True, config=config
-        ),
-    }
+def define(graph, sweep, config):
+    """Declare one ``figure10_point`` task per sweep percentage."""
+    return [graph.task("figure10_point", {"pct": pct, "config": config})
+            for pct in sweep]
 
 
-def run(sweep=SWEEP_PCTS, config=None, workers=1):
+def run(sweep=SWEEP_PCTS, config=None, workers=1, runtime=None):
     """Evaluate the sweep; returns result rows.
 
     ``workers`` fans the sweep points out across a process pool
@@ -46,8 +41,12 @@ def run(sweep=SWEEP_PCTS, config=None, workers=1):
     """
     if config is None:
         config = SunderConfig(report_bits=12)
-    jobs = [(pct, config) for pct in sweep]
-    return ParallelRunner(workers).map(_evaluate_job, jobs)
+    if runtime is None:
+        runtime = Runtime(workers=workers)
+    graph = StageGraph()
+    tasks = define(graph, sweep, config)
+    results = runtime.execute(graph, targets=tasks)
+    return [results[task] for task in tasks]
 
 
 def render(rows):

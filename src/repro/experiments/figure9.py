@@ -2,9 +2,14 @@
 
 Also derives the conclusion's throughput-density headline ("three orders
 of magnitude higher throughput per unit area than the AP").
+
+Each architecture's component-area evaluation is one ``figure9_arch``
+stage in the runtime graph (closed-form, so uncached); the scheduler
+fans them across ``workers`` with identical rows at any count.
 """
 
-from ..hwmodel.area import figure9_breakdown, throughput_per_area
+from ..hwmodel.area import _AREA_MODELS, breakdown_table, throughput_per_area
+from ..runtime import Runtime, StageGraph
 from ..obs import instrumented_experiment
 from .formatting import format_table
 
@@ -21,13 +26,26 @@ COLUMNS = [
 PAPER_RATIOS = {"Sunder": 1.0, "CA": 1.5, "Impala": 1.6, "AP": 2.1}
 
 
-def run(num_states=32768, workers=1):
+def define(graph, num_states):
+    """Declare one ``figure9_arch`` task per architecture, in order."""
+    return {name: graph.task("figure9_arch",
+                             {"arch": name, "num_states": num_states})
+            for name in _AREA_MODELS}
+
+
+def run(num_states=32768, workers=1, runtime=None):
     """Compute the per-architecture area breakdown.
 
     ``workers`` fans the architectures out across a process pool
     (0 = all cores); output is identical at any worker count.
     """
-    rows = figure9_breakdown(num_states, workers=workers)
+    if runtime is None:
+        runtime = Runtime(workers=workers)
+    graph = StageGraph()
+    tasks = define(graph, num_states)
+    results = runtime.execute(graph, targets=list(tasks.values()))
+    rows = breakdown_table(
+        {name: results[task] for name, task in tasks.items()})
     for row in rows:
         row["paper_ratio"] = PAPER_RATIOS.get(row["architecture"])
     return rows

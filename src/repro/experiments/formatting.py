@@ -31,6 +31,25 @@ def format_table(rows, columns, title=None, float_format="%.2f"):
     return "\n".join(lines)
 
 
+def average_row(rows, keys, label="Average", label_key="benchmark",
+                extra=None):
+    """Arithmetic-mean summary row over ``keys`` (Table 3/4 bottom rows).
+
+    The mean is computed as ``sum(...) / len(rows)`` in row order —
+    identical float arithmetic to the per-table code this replaces, so
+    rendered tables stay byte-stable.  ``extra`` merges paper reference
+    values (or any other fixed cells) into the returned row.
+    """
+    if not rows:
+        raise ValueError("cannot average an empty row list")
+    row = {label_key: label}
+    for key in keys:
+        row[key] = sum(r[key] for r in rows) / len(rows)
+    if extra:
+        row.update(extra)
+    return row
+
+
 def ratio_string(measured, paper):
     """Render 'measured (paper X)' comparison cells."""
     if paper is None:

@@ -4,10 +4,17 @@ Simulates every synthetic benchmark on its generated input and reports
 the static and dynamic columns next to the paper's published values.
 The dynamic percentages should track the paper closely (they are the
 generators' calibration targets); absolute counts scale with the input.
+
+The experiment is declared as a stage graph (``generate -> simulate8 ->
+table1_row`` per benchmark) executed by the runtime scheduler: the
+expensive stages are content-addressed in the shared artifact store, so
+they are shared with Table 4 (same generate/simulate8 artifacts) and
+skipped entirely on warm runs, and the scheduler fans stage executions
+across ``workers`` processes with byte-identical output.
 """
 
-from ..sim.parallel import ParallelRunner
-from ..workloads.registry import BENCHMARK_NAMES, generate
+from ..runtime import Runtime, StageGraph
+from ..workloads.registry import BENCHMARK_NAMES
 from ..obs import instrumented_experiment
 from .formatting import format_table
 
@@ -27,29 +34,42 @@ COLUMNS = [
 ]
 
 
-def _evaluate_job(job):
-    """One benchmark's Table 1 row from a picklable (name, scale, seed)."""
-    name, scale, seed = job
-    instance = generate(name, scale=scale, seed=seed)
-    row = instance.measured_behavior()
-    row.pop("recorder", None)
-    row["paper_report_state_pct"] = instance.paper_row.get("report_state_pct")
-    row["paper_report_cycle_pct"] = instance.paper_row.get("report_cycle_pct")
-    row["paper_reports_per_report_cycle"] = instance.paper_row.get(
-        "reports_per_report_cycle"
-    )
-    return row
+def select_names(names, experiment):
+    """Validate a benchmark selection (shared by every table harness)."""
+    chosen = list(names) if names is not None else list(BENCHMARK_NAMES)
+    if not chosen:
+        raise ValueError(
+            "%s: empty benchmark selection (pass names=None for the full "
+            "suite)" % experiment)
+    return chosen
 
 
-def run(scale=0.02, seed=0, names=None, workers=1):
+def define(graph, scale, seed, names):
+    """Declare Table 1's stages; returns the per-benchmark row tasks."""
+    rows = []
+    for name in names:
+        gen = graph.task("generate",
+                         {"name": name, "scale": scale, "seed": seed})
+        sim = graph.task("simulate8", {"name": name}, deps=[gen])
+        rows.append(graph.task("table1_row", {"name": name},
+                               deps=[gen, sim]))
+    return rows
+
+
+def run(scale=0.02, seed=0, names=None, workers=1, runtime=None):
     """Simulate the suite; returns the list of result rows.
 
-    ``workers`` fans the per-benchmark simulations out across a process
-    pool (0 = all cores); rows come back in suite order regardless.
+    ``workers`` fans the stage executions out across a process pool
+    (0 = all cores); rows come back in suite order regardless.  Pass a
+    shared ``runtime`` to deduplicate stages with other experiments.
     """
-    chosen = names if names is not None else BENCHMARK_NAMES
-    jobs = [(name, scale, seed) for name in chosen]
-    return ParallelRunner(workers).map(_evaluate_job, jobs)
+    chosen = select_names(names, "table1.run")
+    if runtime is None:
+        runtime = Runtime(workers=workers)
+    graph = StageGraph()
+    tasks = define(graph, scale, seed, chosen)
+    results = runtime.execute(graph, targets=tasks)
+    return [results[task] for task in tasks]
 
 
 def render(rows):

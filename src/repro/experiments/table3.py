@@ -4,18 +4,19 @@ For each benchmark, transform the 8-bit automaton to 1-, 2-, and 4-nibble
 processing and report the state and transition counts normalized to the
 original — the cost side of the throughput/density trade-off.
 
-All transforms run through the content-addressed cache
-(:mod:`repro.transform.cache`): the nibble and strided machines built
-here are the same artifacts Table 4 and the scorecard need, so a shared
-cache (or disk tier, for ``workers > 1``) makes later runs hit instead
-of re-transforming.
+Declared as a stage graph: one ``generate`` task per benchmark fans into
+one ``to_rate`` task per rate, and a ``table3_row`` stage derives the
+ratios.  The ``to_rate`` artifacts are the same content-addressed
+machines Table 4 and the scorecard need (key-chained through the
+transform cache's code version), so a shared artifact store makes later
+runs — and sibling experiments in the same scorecard — hit instead of
+re-transforming.
 """
 
-from ..sim.parallel import ParallelRunner
-from ..transform.pipeline import transform_overhead
-from ..workloads.registry import BENCHMARK_NAMES, generate
+from ..runtime import Runtime, StageGraph
 from ..obs import instrumented_experiment
-from .formatting import format_table
+from .formatting import average_row, format_table
+from .table1 import select_names
 
 COLUMNS = [
     ("benchmark", "Benchmark"),
@@ -27,37 +28,40 @@ COLUMNS = [
     ("transitions_4", "Trans x4"),
 ]
 
-def _evaluate_job(job):
-    """One benchmark's overhead row from a picklable (name, scale, seed,
-    rates) spec."""
-    name, scale, seed, rates = job
-    instance = generate(name, scale=scale, seed=seed)
-    overhead = transform_overhead(instance.automaton, rates=rates)
-    row = {"benchmark": name}
-    for rate in rates:
-        row["states_%d" % rate] = overhead[rate]["state_ratio"]
-        row["transitions_%d" % rate] = overhead[rate]["transition_ratio"]
-    return row
+
+def define(graph, scale, seed, names, rates):
+    """Declare Table 3's stages; returns the per-benchmark row tasks."""
+    rows = []
+    for name in names:
+        gen = graph.task("generate",
+                         {"name": name, "scale": scale, "seed": seed})
+        machines = [graph.task("to_rate", {"name": name, "rate": rate},
+                               deps=[gen]) for rate in rates]
+        rows.append(graph.task("table3_row",
+                               {"name": name, "rates": list(rates)},
+                               deps=[gen] + machines))
+    return rows
 
 
-def run(scale=0.01, seed=0, names=None, rates=(1, 2, 4), workers=1):
+def run(scale=0.01, seed=0, names=None, rates=(1, 2, 4), workers=1,
+        runtime=None):
     """Measure transformation overheads; returns (rows, averages).
 
-    ``workers`` fans the per-benchmark transforms out across a process
-    pool (0 = all cores); row order is the suite order regardless.
+    ``workers`` fans the stage executions out across a process pool
+    (0 = all cores); row order is the suite order regardless.  Pass a
+    shared ``runtime`` to deduplicate stages with other experiments.
     """
-    chosen = names if names is not None else BENCHMARK_NAMES
+    chosen = select_names(names, "table3.run")
     rates = tuple(rates)
-    jobs = [(name, scale, seed, rates) for name in chosen]
-    rows = ParallelRunner(workers).map(_evaluate_job, jobs)
-    count = len(rows)
-    averages = {"benchmark": "Average"}
-    for rate in rates:
-        averages["states_%d" % rate] = (
-            sum(row["states_%d" % rate] for row in rows) / count)
-        averages["transitions_%d" % rate] = (
-            sum(row["transitions_%d" % rate] for row in rows) / count)
-    return rows, averages
+    if runtime is None:
+        runtime = Runtime(workers=workers)
+    graph = StageGraph()
+    tasks = define(graph, scale, seed, chosen, rates)
+    results = runtime.execute(graph, targets=tasks)
+    rows = [results[task] for task in tasks]
+    keys = (["states_%d" % rate for rate in rates]
+            + ["transitions_%d" % rate for rate in rates])
+    return rows, average_row(rows, keys)
 
 
 def render(rows, averages):

@@ -14,24 +14,30 @@ Flush-count convention: we count flush *events summed over subarrays*
 (the paper's counting convention is not fully specified; see
 EXPERIMENTS.md for the comparison discussion).
 
-The ``to_rate`` transform in step 2 is served by the content-addressed
-transform cache, so a Table 3 run (or a previous Table 4 run) over the
-same ``(benchmark, scale, seed)`` machines makes the configure phase a
-cache hit.
+Declared as a stage graph per benchmark::
+
+    generate -> simulate8 ----------------------------\\
+            \\-> to_rate -> simulate_strided -----------+-> report_drain
+                       \\-> place ----------------------/
+
+``generate``/``simulate8`` are shared with Table 1 and ``to_rate`` with
+Table 3 through the content-addressed artifact store, so a scorecard
+run (or a warm ``--artifact-dir``) executes each only once; the cheap
+``place``/``report_drain`` replays re-run every time.
 """
 
-from ..baselines.ap import ApReportingModel
 from ..core.config import SunderConfig
 from ..core.mapping import place
-from ..core.perfmodel import ReportingPerfModel, pu_fill_cycles_from_events
+from ..runtime import Runtime, StageGraph
+from ..runtime.stages import drain_row
+from ..runtime.artifacts import SimRun
 from ..sim.engine import BitsetEngine
 from ..sim.inputs import stream_for
-from ..sim.parallel import ParallelRunner
 from ..sim.reports import ReportRecorder
 from ..transform.pipeline import to_rate
-from ..workloads.registry import BENCHMARK_NAMES, PAPER_TABLE4, generate
 from ..obs import instrumented_experiment, trace_span
-from .formatting import format_table
+from .formatting import average_row, format_table
+from .table1 import select_names
 
 COLUMNS = [
     ("benchmark", "Benchmark"),
@@ -47,12 +53,23 @@ COLUMNS = [
     ("paper_rad", "(paper)"),
 ]
 
+#: Paper averages appended to the summary row.
+PAPER_AVERAGES = {
+    "paper_sunder": 1.0,
+    "paper_sunder_fifo": 1.0,
+    "paper_ap": 4.69,
+    "paper_rad": 2.23,
+}
+
 
 def evaluate_benchmark(instance, rate=4, config=None, scale=1.0):
     """Full Table 4 row for one workload instance.
 
-    ``scale`` is the workload generation scale; the AP model shrinks its
-    fixed buffer geometry by the same factor (see ApReportingModel).
+    This is the direct, graph-free path for *custom* instances (the
+    registry-driven suite goes through :func:`define`); both call the
+    same :func:`~repro.runtime.stages.drain_row` replay.  ``scale`` is
+    the workload generation scale; the AP model shrinks its fixed buffer
+    geometry by the same factor (see ApReportingModel).
     """
     automaton = instance.automaton
     data = instance.input_bytes
@@ -69,97 +86,58 @@ def evaluate_benchmark(instance, rate=4, config=None, scale=1.0):
         engine = BitsetEngine(automaton)
         recorder = ReportRecorder(keep_events=True)
         engine.run(list(data), recorder)
-        byte_cycles = len(data)
+        run8 = SimRun(recorder, len(data))
         vectors, limit = stream_for(strided, data)
         strided_recorder = ReportRecorder(keep_events=True,
                                           position_limit=limit)
         BitsetEngine(strided).run(vectors, strided_recorder)
-        vector_cycles = len(vectors)
+        strided_run = SimRun(strided_recorder, len(vectors))
 
     # --- report-drain: replay the profiles through the buffer models ---
     with trace_span("table4.report_drain", benchmark=instance.name):
-        report_ids = [state.id for state in automaton.report_states()]
-        ap = ApReportingModel(rad=False, scale=scale).evaluate(
-            recorder.events, report_ids, byte_cycles
-        )
-        rad = ApReportingModel(rad=True, scale=scale).evaluate(
-            recorder.events, report_ids, byte_cycles
-        )
-        fills = pu_fill_cycles_from_events(strided_recorder.events, placement)
-        no_fifo = ReportingPerfModel(_with_fifo(config, False)).evaluate(
-            fills, vector_cycles, capacity_scale=scale
-        )
-        fifo = ReportingPerfModel(_with_fifo(config, True)).evaluate(
-            fills, vector_cycles, capacity_scale=scale
-        )
-
-    paper = instance.paper_row and PAPER_TABLE4.get(instance.name, {})
-    return {
-        "benchmark": instance.name,
-        "sunder_flushes": no_fifo.flushes,
-        "sunder_overhead": no_fifo.slowdown,
-        "sunder_fifo_flushes": fifo.flushes,
-        "sunder_fifo_overhead": fifo.slowdown,
-        "ap_overhead": ap.slowdown,
-        "rad_overhead": rad.slowdown,
-        "paper_sunder": paper.get("sunder"),
-        "paper_sunder_fifo": paper.get("sunder_fifo"),
-        "paper_ap": paper.get("ap"),
-        "paper_rad": paper.get("ap_rad"),
-        "pus": len(placement.pus_used()),
-        "byte_cycles": byte_cycles,
-        "vector_cycles": vector_cycles,
-    }
+        return drain_row(instance, run8, strided_run, placement,
+                         rate=rate, scale=scale, config=config)
 
 
-def _with_fifo(config, fifo):
-    """Clone a config with the FIFO strategy toggled."""
-    return SunderConfig(
-        rate_nibbles=config.rate_nibbles,
-        report_bits=config.report_bits,
-        metadata_bits=config.metadata_bits,
-        fifo=fifo,
-        flush_rows_per_cycle=config.flush_rows_per_cycle,
-        fifo_drain_rows_per_cycle=config.fifo_drain_rows_per_cycle,
-        summarize_batch_rows=config.summarize_batch_rows,
-        summarize_stall_cycles=config.summarize_stall_cycles,
-    )
+def define(graph, scale, seed, names, rate):
+    """Declare Table 4's stages; returns the per-benchmark row tasks."""
+    rows = []
+    for name in names:
+        gen = graph.task("generate",
+                         {"name": name, "scale": scale, "seed": seed})
+        sim8 = graph.task("simulate8", {"name": name}, deps=[gen])
+        strided = graph.task("to_rate", {"name": name, "rate": rate},
+                             deps=[gen])
+        sim_strided = graph.task("simulate_strided",
+                                 {"name": name, "rate": rate},
+                                 deps=[gen, strided])
+        placed = graph.task("place", {"name": name, "rate": rate},
+                            deps=[strided])
+        rows.append(graph.task(
+            "report_drain", {"name": name, "rate": rate, "scale": scale},
+            deps=[gen, sim8, sim_strided, placed]))
+    return rows
 
 
-def _evaluate_job(job):
-    """One benchmark's Table 4 row from a picklable (name, scale, seed,
-    rate) spec."""
-    name, scale, seed, rate = job
-    instance = generate(name, scale=scale, seed=seed)
-    return evaluate_benchmark(instance, rate=rate, scale=scale)
-
-
-def run(scale=0.01, seed=0, names=None, rate=4, workers=1):
+def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None):
     """Evaluate the suite; returns (rows, averages).
 
-    ``workers`` fans the per-benchmark simulate+replay pipelines out
-    across a process pool (0 = all cores); row order is the suite order
-    regardless.
+    ``workers`` fans the stage executions out across a process pool
+    (0 = all cores); row order is the suite order regardless.  Pass a
+    shared ``runtime`` to deduplicate stages with other experiments.
     """
-    chosen = names if names is not None else BENCHMARK_NAMES
-    jobs = [(name, scale, seed, rate) for name in chosen]
-    rows = ParallelRunner(workers).map(_evaluate_job, jobs)
-    averages = {
-        "benchmark": "Average",
-        "sunder_overhead": _mean(rows, "sunder_overhead"),
-        "sunder_fifo_overhead": _mean(rows, "sunder_fifo_overhead"),
-        "ap_overhead": _mean(rows, "ap_overhead"),
-        "rad_overhead": _mean(rows, "rad_overhead"),
-        "paper_sunder": 1.0,
-        "paper_sunder_fifo": 1.0,
-        "paper_ap": 4.69,
-        "paper_rad": 2.23,
-    }
+    chosen = select_names(names, "table4.run")
+    if runtime is None:
+        runtime = Runtime(workers=workers)
+    graph = StageGraph()
+    tasks = define(graph, scale, seed, chosen, rate)
+    results = runtime.execute(graph, targets=tasks)
+    rows = [results[task] for task in tasks]
+    averages = average_row(
+        rows, ("sunder_overhead", "sunder_fifo_overhead", "ap_overhead",
+               "rad_overhead"),
+        extra=PAPER_AVERAGES)
     return rows, averages
-
-
-def _mean(rows, key):
-    return sum(row[key] for row in rows) / len(rows)
 
 
 def render(rows, averages):

@@ -158,6 +158,29 @@ def _breakdown_job(job):
     return name, _AREA_MODELS[name](num_states)
 
 
+def breakdown_table(parts_by_name):
+    """Figure 9 rows (mm2 + ratios) from per-architecture component areas.
+
+    ``parts_by_name`` maps architecture name to its ``{matching,
+    reporting, interconnect}`` um2 dict, in presentation order.  Shared
+    by :func:`figure9_breakdown` and the ``figure9_arch`` runtime stage
+    so both paths produce identical rows.
+    """
+    sunder_total = sum(parts_by_name["Sunder"].values())
+    table = []
+    for name, parts in parts_by_name.items():
+        total = sum(parts.values())
+        table.append({
+            "architecture": name,
+            "matching_mm2": parts["matching"] / 1e6,
+            "interconnect_mm2": parts["interconnect"] / 1e6,
+            "reporting_mm2": parts["reporting"] / 1e6,
+            "total_mm2": total / 1e6,
+            "ratio_to_sunder": total / sunder_total,
+        })
+    return table
+
+
 def figure9_breakdown(num_states=32768, workers=1):
     """Area breakdown for every architecture, plus ratios to Sunder.
 
@@ -169,16 +192,4 @@ def figure9_breakdown(num_states=32768, workers=1):
 
     jobs = [(name, num_states) for name in _AREA_MODELS]
     rows = dict(ParallelRunner(workers).map(_breakdown_job, jobs))
-    sunder_total = sum(rows["Sunder"].values())
-    table = []
-    for name, parts in rows.items():
-        total = sum(parts.values())
-        table.append({
-            "architecture": name,
-            "matching_mm2": parts["matching"] / 1e6,
-            "interconnect_mm2": parts["interconnect"] / 1e6,
-            "reporting_mm2": parts["reporting"] / 1e6,
-            "total_mm2": total / 1e6,
-            "ratio_to_sunder": total / sunder_total,
-        })
-    return table
+    return breakdown_table(rows)

@@ -119,6 +119,23 @@ class Instruments:
             "repro_transform_cache_bytes_written_total",
             "Bytes of artifact JSON written to the disk tier.")
 
+        # --- stage-graph runtime (repro.runtime) ----------------------
+        self.runtime_stage_hits = counter(
+            "repro_runtime_stage_hits_total",
+            "Stage executions served from the artifact store.", ("stage",))
+        self.runtime_stage_misses = counter(
+            "repro_runtime_stage_misses_total",
+            "Stage executions that actually ran (artifact-store misses "
+            "plus uncacheable stages).", ("stage",))
+        self.runtime_stage_seconds = histogram(
+            "repro_runtime_stage_seconds",
+            "Wall time per executed (non-cached) stage.", ("stage",),
+            buckets=SECONDS_BUCKETS)
+        self.runtime_artifact_bytes_written = counter(
+            "repro_runtime_artifact_bytes_written_total",
+            "Bytes of artifact JSON written by the runtime store's disk "
+            "tier.")
+
         # --- experiment harnesses (repro.experiments) -----------------
         self.experiment_runs = counter(
             "repro_experiment_runs_total",

@@ -1,0 +1,177 @@
+"""Artifact kinds cached by the stage-graph runtime.
+
+Each kind pairs a value type with a :class:`~repro.runtime.store.Codec`
+so the shared :class:`~repro.runtime.store.ArtifactStore` can persist it
+with a versioned serialization and serve defensive copies:
+
+- **workload instances** (:class:`~repro.workloads.base.WorkloadInstance`)
+  — the ``generate`` stage's output: automaton + planted input stream +
+  provenance;
+- **simulation runs** (:class:`SimRun`) — one functional-simulator pass:
+  the full :class:`~repro.sim.reports.ReportRecorder` stream plus the
+  cycle count and active-state statistics the Table 1 columns need;
+- **automata** — reuses the transform cache's
+  :class:`~repro.transform.cache.AutomatonCodec`;
+- **plain JSON values** — result rows and summaries.
+"""
+
+import base64
+import json
+
+from ..automata.automaton import Automaton
+from ..errors import ArtifactError
+from ..sim.reports import ReportRecorder
+from ..transform.cache import AUTOMATON_CODEC
+from ..workloads.base import WorkloadInstance
+from .store import Codec, JsonCodec
+
+#: Versioned serialization identifiers.
+INSTANCE_FORMAT = "repro-instance"
+INSTANCE_VERSION = 1
+SIMRUN_FORMAT = "repro-simrun"
+SIMRUN_VERSION = 1
+
+
+class SimRun:
+    """One functional-simulator pass, ready for replay.
+
+    ``recorder`` is the full report stream; ``cycles`` the stream length
+    in vector cycles (bytes for an 8-bit machine, vectors for a strided
+    one); the active-state statistics feed Table 1's dynamic columns.
+    """
+
+    __slots__ = ("recorder", "cycles", "max_active_states",
+                 "avg_active_states")
+
+    def __init__(self, recorder, cycles, max_active_states=0,
+                 avg_active_states=0.0):
+        self.recorder = recorder
+        self.cycles = cycles
+        self.max_active_states = max_active_states
+        self.avg_active_states = avg_active_states
+
+    def summary(self):
+        """The recorder's Table 1 dynamic columns plus run statistics."""
+        row = self.recorder.summary(self.cycles)
+        row["cycles"] = self.cycles
+        row["max_active_states"] = self.max_active_states
+        row["avg_active_states"] = self.avg_active_states
+        return row
+
+    def __repr__(self):
+        return "SimRun(cycles=%d, reports=%d)" % (
+            self.cycles, self.recorder.total_reports)
+
+
+class SimRunCodec(Codec):
+    """Codec for :class:`SimRun` artifacts."""
+
+    kind = "simrun"
+
+    def encode(self, obj):
+        return json.dumps({
+            "format": SIMRUN_FORMAT,
+            "version": SIMRUN_VERSION,
+            "cycles": obj.cycles,
+            "max_active_states": obj.max_active_states,
+            "avg_active_states": obj.avg_active_states,
+            "recorder": obj.recorder.to_payload(),
+        }, separators=(",", ":"))
+
+    def decode(self, text):
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, TypeError) as error:
+            raise ArtifactError("undecodable simrun artifact: %s" % error)
+        try:
+            if payload.get("format") != SIMRUN_FORMAT:
+                raise ArtifactError(
+                    "unknown simrun format %r" % (payload.get("format"),))
+            if payload.get("version") != SIMRUN_VERSION:
+                raise ArtifactError(
+                    "unsupported simrun version %r"
+                    % (payload.get("version"),))
+            return SimRun(
+                recorder=ReportRecorder.from_payload(payload["recorder"]),
+                cycles=int(payload["cycles"]),
+                max_active_states=payload["max_active_states"],
+                avg_active_states=payload["avg_active_states"],
+            )
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ArtifactError("malformed simrun payload: %s" % error)
+
+    def copy(self, obj):
+        # Events are treated as immutable by every consumer; copying the
+        # containers (not the events) keeps hits cheap but independent.
+        recorder = ReportRecorder(keep_events=obj.recorder.keep_events,
+                                  position_limit=obj.recorder.position_limit)
+        recorder.total_reports = obj.recorder.total_reports
+        recorder.reports_per_cycle = obj.recorder.reports_per_cycle.copy()
+        recorder.events = list(obj.recorder.events)
+        return SimRun(recorder, obj.cycles, obj.max_active_states,
+                      obj.avg_active_states)
+
+
+class InstanceCodec(Codec):
+    """Codec for :class:`~repro.workloads.base.WorkloadInstance` artifacts."""
+
+    kind = "instance"
+
+    def encode(self, obj):
+        return json.dumps({
+            "format": INSTANCE_FORMAT,
+            "version": INSTANCE_VERSION,
+            "name": obj.name,
+            "family": obj.family,
+            "paper_row": obj.paper_row,
+            "input_b64": base64.b64encode(obj.input_bytes).decode("ascii"),
+            "automaton": obj.automaton.to_payload(),
+        }, separators=(",", ":"))
+
+    def decode(self, text):
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, TypeError) as error:
+            raise ArtifactError("undecodable instance artifact: %s" % error)
+        try:
+            if payload.get("format") != INSTANCE_FORMAT:
+                raise ArtifactError(
+                    "unknown instance format %r" % (payload.get("format"),))
+            if payload.get("version") != INSTANCE_VERSION:
+                raise ArtifactError(
+                    "unsupported instance version %r"
+                    % (payload.get("version"),))
+            return WorkloadInstance(
+                name=payload["name"],
+                family=payload["family"],
+                automaton=Automaton.from_payload(payload["automaton"]),
+                input_bytes=base64.b64decode(payload["input_b64"]),
+                paper_row=payload["paper_row"],
+            )
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as error:
+            raise ArtifactError("malformed instance payload: %s" % error)
+
+    def copy(self, obj):
+        return WorkloadInstance(
+            name=obj.name,
+            family=obj.family,
+            automaton=obj.automaton.copy(),
+            input_bytes=obj.input_bytes,
+            paper_row=dict(obj.paper_row),
+        )
+
+
+#: Shared codec instances (all stateless).
+SIMRUN_CODEC = SimRunCodec()
+INSTANCE_CODEC = InstanceCodec()
+JSON_CODEC = JsonCodec()
+
+#: Codec registry by kind slug (used for key prefixes and diagnostics).
+CODECS = {
+    codec.kind: codec
+    for codec in (AUTOMATON_CODEC, SIMRUN_CODEC, INSTANCE_CODEC, JSON_CODEC)
+}

@@ -1,0 +1,307 @@
+"""The stage taxonomy: named, pure units of experiment work.
+
+A *stage* is one step of an experiment pipeline — generate a workload,
+simulate it, transform it to a processing rate, replay its report stream
+through a buffer model, derive a result row.  Every stage function is
+pure: its output is fully determined by its picklable ``params`` dict
+plus the values of its dependency stages, which is what lets the
+scheduler (:mod:`repro.runtime.graph`)
+
+- **content-address** cacheable stages in the shared
+  :class:`~repro.runtime.store.ArtifactStore` (key = runtime salt +
+  stage name + params + dependency keys),
+- **deduplicate** identical stages across experiments (Table 1 and
+  Table 4 share ``generate``/``simulate8``; Table 3 and Table 4 share
+  ``to_rate``), and
+- **fan stages out** through :class:`~repro.sim.parallel.ParallelRunner`
+  with byte-identical results at any worker count.
+
+Cacheable stages name a codec; stages without one (placement, the
+buffer-model replays, figure aggregations) re-run every time — they are
+cheap, and their inputs are exactly the expensive cached artifacts.
+"""
+
+from time import perf_counter
+
+from ..baselines.ap import ApReportingModel
+from ..core.config import SunderConfig
+from ..core.mapping import place
+from ..core.perfmodel import (ReportingPerfModel, pu_fill_cycles_from_events,
+                              sensitivity_slowdown)
+from ..errors import StageGraphError
+from ..hwmodel import area
+from ..obs import trace_span
+from ..sim.engine import BitsetEngine
+from ..sim.inputs import stream_for
+from ..sim.reports import ReportRecorder
+from ..sim.stats import static_statistics
+from ..transform import cache as transform_cache
+from ..transform.pipeline import to_rate
+from ..workloads import registry as workloads
+from .artifacts import (AUTOMATON_CODEC, INSTANCE_CODEC, JSON_CODEC,
+                        SIMRUN_CODEC, SimRun)
+
+
+class Stage:
+    """One registered stage kind.
+
+    ``codec`` names the artifact codec for cacheable stages (``None``
+    means the stage re-runs every time); ``salt`` optionally derives
+    extra key material from the params (generator/transform versions) so
+    bumping an upstream code version invalidates cached results.
+    """
+
+    def __init__(self, name, func, codec=None, salt=None):
+        self.name = name
+        self.func = func
+        self.codec = codec
+        self.salt = salt
+
+    @property
+    def cacheable(self):
+        return self.codec is not None
+
+    def __repr__(self):
+        return "Stage(%s%s)" % (self.name,
+                                ", cached" if self.cacheable else "")
+
+
+#: All registered stages by name.
+REGISTRY = {}
+
+
+def stage(name, codec=None, salt=None):
+    """Register a module-level function as the stage ``name``."""
+    def register(func):
+        if name in REGISTRY:
+            raise StageGraphError("stage %r registered twice" % name)
+        REGISTRY[name] = Stage(name, func, codec=codec, salt=salt)
+        return func
+    return register
+
+
+def get_stage(name):
+    """Look up a registered stage (raises StageGraphError if unknown)."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise StageGraphError(
+            "unknown stage %r (registered: %s)"
+            % (name, ", ".join(sorted(REGISTRY))))
+
+
+def canonical(value):
+    """Deterministic string form of a params value for keys/signatures.
+
+    Dicts are sorted, sequences recursed, and objects carrying state in
+    ``__dict__`` (e.g. :class:`~repro.core.config.SunderConfig`) are
+    expanded field-by-field — two configs differing in any knob must
+    never collide, and ``repr`` alone does not guarantee that.
+    """
+    if isinstance(value, dict):
+        return "{%s}" % ",".join(
+            "%s=%s" % (key, canonical(value[key])) for key in sorted(value))
+    if isinstance(value, (list, tuple)):
+        return "[%s]" % ",".join(canonical(item) for item in value)
+    if hasattr(value, "__dict__") and vars(value):
+        return "%s%s" % (type(value).__name__, canonical(vars(value)))
+    return repr(value)
+
+
+def _execute_stage_job(job):
+    """Run one stage from a picklable ``(name, params, dep_values)`` spec.
+
+    Module-level so :class:`~repro.sim.parallel.ParallelRunner` can ship
+    it to worker processes.  Returns ``(result, seconds)`` — timing is
+    measured here so the parent can observe ``repro_runtime_stage_seconds``
+    even for pool-executed stages (whose own collectors are detached).
+    """
+    name, params, dep_values = job
+    entry = get_stage(name)
+    # "name" would collide with trace_span's positional argument; the
+    # params slot it fills is always the benchmark name.
+    attrs = {("benchmark" if key == "name" else key): value
+             for key, value in params.items()
+             if isinstance(value, (str, int, float, bool))}
+    start = perf_counter()
+    with trace_span("stage." + name, **attrs):
+        result = entry.func(params, *dep_values)
+    return result, perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# Cacheable stages (expensive, content-addressed)
+# ----------------------------------------------------------------------
+
+def _generator_salt(params):
+    return workloads.instance_fingerprint(
+        params["name"], params["scale"], params["seed"])
+
+
+@stage("generate", codec=INSTANCE_CODEC, salt=_generator_salt)
+def _generate(params):
+    """Build one synthetic benchmark instance (automaton + input)."""
+    return workloads.generate(params["name"], scale=params["scale"],
+                              seed=params["seed"])
+
+
+@stage("simulate8", codec=SIMRUN_CODEC)
+def _simulate8(params, instance):
+    """Functional simulation of the 8-bit machine over its input.
+
+    Records the full event stream (Table 4's AP replay needs it) and the
+    active-state statistics (Table 1's dynamic columns need them).
+    """
+    engine = BitsetEngine(instance.automaton)
+    recorder = ReportRecorder(keep_events=True)
+    stream = list(instance.input_bytes)
+    engine.run(stream, recorder)
+    cycles = len(stream)
+    history = engine.active_count_history
+    return SimRun(
+        recorder, cycles,
+        max_active_states=max(history) if history else 0,
+        avg_active_states=sum(history) / cycles if cycles else 0.0,
+    )
+
+
+def _transform_salt(params):
+    return "transform:%s" % transform_cache.CODE_VERSION
+
+
+@stage("to_rate", codec=AUTOMATON_CODEC, salt=_transform_salt)
+def _to_rate(params, instance):
+    """Section 4 pipeline: 8-bit machine -> ``rate`` nibbles per cycle."""
+    return to_rate(instance.automaton, params["rate"])
+
+
+@stage("simulate_strided", codec=SIMRUN_CODEC)
+def _simulate_strided(params, instance, strided):
+    """Functional simulation of the strided machine over the same input."""
+    vectors, limit = stream_for(strided, instance.input_bytes)
+    recorder = ReportRecorder(keep_events=True, position_limit=limit)
+    BitsetEngine(strided).run(vectors, recorder)
+    return SimRun(recorder, len(vectors))
+
+
+@stage("table1_row", codec=JSON_CODEC)
+def _table1_row(params, instance, run8):
+    """Table 1 row: static + dynamic columns next to the paper's."""
+    row = {}
+    row.update(static_statistics(instance.automaton))
+    row.update(run8.summary())
+    row["benchmark"] = instance.name
+    row["family"] = instance.family
+    row["input_bytes"] = len(instance.input_bytes)
+    row["paper_report_state_pct"] = instance.paper_row.get("report_state_pct")
+    row["paper_report_cycle_pct"] = instance.paper_row.get("report_cycle_pct")
+    row["paper_reports_per_report_cycle"] = instance.paper_row.get(
+        "reports_per_report_cycle")
+    return row
+
+
+@stage("table3_row", codec=JSON_CODEC)
+def _table3_row(params, instance, *machines):
+    """Table 3 row: state/transition blowup per rate vs the 8-bit base."""
+    base_states = len(instance.automaton)
+    base_transitions = instance.automaton.num_transitions()
+    row = {"benchmark": instance.name}
+    for rate, machine in zip(params["rates"], machines):
+        row["states_%d" % rate] = len(machine) / base_states
+        row["transitions_%d" % rate] = (
+            machine.num_transitions() / base_transitions
+            if base_transitions else float("nan"))
+    return row
+
+
+# ----------------------------------------------------------------------
+# Uncacheable stages (cheap model replays and aggregations)
+# ----------------------------------------------------------------------
+
+@stage("place")
+def _place(params, strided):
+    """Map the strided machine onto Sunder PUs."""
+    return place(strided, SunderConfig(rate_nibbles=params["rate"]))
+
+
+def drain_row(instance, run8, strided_run, placement, rate, scale,
+              config=None):
+    """Table 4 row: replay both report streams through every buffer model.
+
+    Shared by the ``report_drain`` stage and
+    :func:`repro.experiments.table4.evaluate_benchmark` (the direct path
+    for custom instances) so the two can never drift.
+    """
+    if config is None:
+        config = SunderConfig(rate_nibbles=rate)
+    report_ids = [state.id for state in instance.automaton.report_states()]
+    byte_cycles = run8.cycles
+    ap = ApReportingModel(rad=False, scale=scale).evaluate(
+        run8.recorder.events, report_ids, byte_cycles)
+    rad = ApReportingModel(rad=True, scale=scale).evaluate(
+        run8.recorder.events, report_ids, byte_cycles)
+    fills = pu_fill_cycles_from_events(strided_run.recorder.events, placement)
+    no_fifo = ReportingPerfModel(_with_fifo(config, False)).evaluate(
+        fills, strided_run.cycles, capacity_scale=scale)
+    fifo = ReportingPerfModel(_with_fifo(config, True)).evaluate(
+        fills, strided_run.cycles, capacity_scale=scale)
+    paper = (workloads.PAPER_TABLE4.get(instance.name, {})
+             if instance.paper_row else {})
+    return {
+        "benchmark": instance.name,
+        "sunder_flushes": no_fifo.flushes,
+        "sunder_overhead": no_fifo.slowdown,
+        "sunder_fifo_flushes": fifo.flushes,
+        "sunder_fifo_overhead": fifo.slowdown,
+        "ap_overhead": ap.slowdown,
+        "rad_overhead": rad.slowdown,
+        "paper_sunder": paper.get("sunder"),
+        "paper_sunder_fifo": paper.get("sunder_fifo"),
+        "paper_ap": paper.get("ap"),
+        "paper_rad": paper.get("ap_rad"),
+        "pus": len(placement.pus_used()),
+        "byte_cycles": byte_cycles,
+        "vector_cycles": strided_run.cycles,
+    }
+
+
+def _with_fifo(config, fifo):
+    """Clone a config with the FIFO strategy toggled."""
+    return SunderConfig(
+        rate_nibbles=config.rate_nibbles,
+        report_bits=config.report_bits,
+        metadata_bits=config.metadata_bits,
+        fifo=fifo,
+        flush_rows_per_cycle=config.flush_rows_per_cycle,
+        fifo_drain_rows_per_cycle=config.fifo_drain_rows_per_cycle,
+        summarize_batch_rows=config.summarize_batch_rows,
+        summarize_stall_cycles=config.summarize_stall_cycles,
+    )
+
+
+@stage("report_drain")
+def _report_drain(params, instance, run8, strided_run, placement):
+    """Table 4 row for one benchmark (AP, AP+RAD, Sunder, Sunder+FIFO)."""
+    return drain_row(instance, run8, strided_run, placement,
+                     rate=params["rate"], scale=params["scale"])
+
+
+@stage("figure9_arch")
+def _figure9_arch(params):
+    """Component areas (um2) of one architecture at ``num_states``."""
+    model = area._AREA_MODELS[params["arch"]]
+    return model(params["num_states"])
+
+
+@stage("figure10_point")
+def _figure10_point(params):
+    """One sensitivity-sweep point (slowdown with/without summarization)."""
+    fraction = params["pct"] / 100.0
+    config = params["config"]
+    return {
+        "report_cycle_pct": params["pct"],
+        "slowdown": sensitivity_slowdown(fraction, summarize=False,
+                                         config=config),
+        "slowdown_summarized": sensitivity_slowdown(
+            fraction, summarize=True, config=config),
+    }

@@ -1,0 +1,333 @@
+"""Shared content-addressed artifact store for the stage-graph runtime.
+
+:class:`ArtifactStore` is the generalization of the transform cache's
+two-tier design (PR 3): an in-process LRU of decoded master objects plus
+an optional on-disk artifact directory of versioned JSON payloads,
+addressed by ``CODE_VERSION``-salted SHA-256 keys.  Where the transform
+cache stores only automata, the artifact store is *kind-agnostic*: every
+``get``/``put`` names a :class:`Codec` that owns the (de)serialization
+and the defensive copying of one artifact kind — automata, workload
+instances, simulation report streams, plain JSON rows.
+
+Guarantees shared with the transform cache (whose :class:`TransformCache
+<repro.transform.cache.TransformCache>` is now a subclass of this store):
+
+- **memory tier** — an LRU of master objects; hits return
+  ``codec.copy(master)`` so callers can mutate freely;
+- **disk tier** — ``<key>.json`` files written through a temporary file
+  plus :func:`os.replace`, so concurrent writers and readers never see a
+  partial entry;
+- **corruption degrades to a miss** — an undecodable artifact counts as
+  ``corrupt``, is left in place for post-mortem inspection, and the
+  caller rebuilds.
+
+Keys produced by :func:`artifact_key` are prefixed with the codec kind
+(``simreport-<sha256>``), which keeps the artifact directory
+self-describing and collision-free across kinds.
+"""
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+
+from ..errors import ArtifactError, ReproError
+from ..obs import OBS
+
+#: Runtime code-version salt mixed into every stage/artifact key.  Bump
+#: whenever the semantics of a cached stage (generation, simulation,
+#: serialization formats) change so stale artifacts can never be served.
+CODE_VERSION = "2026.08-runtime-1"
+
+#: Environment variable naming the on-disk artifact directory for the
+#: process-wide store.  When unset, the store is memory-only.
+ENV_VAR = "REPRO_ARTIFACT_DIR"
+
+#: Default capacity (entries) of the in-process LRU tier.  Sized so one
+#: full-suite scorecard run (instances + report streams + strided
+#: machines + cached rows for 19 benchmarks) fits without eviction.
+DEFAULT_MEMORY_ENTRIES = 256
+
+_STAT_KEYS = ("memory_hits", "disk_hits", "misses", "stores",
+              "evictions", "corrupt")
+
+
+class Codec:
+    """Serialization contract for one artifact kind.
+
+    Subclasses (or instances built via :func:`json_codec`) provide:
+
+    - ``kind`` — short slug used in key prefixes and diagnostics;
+    - ``encode(obj) -> str`` — versioned JSON text;
+    - ``decode(text) -> obj`` — inverse; must raise a
+      :class:`~repro.errors.ReproError` subclass (usually
+      :class:`~repro.errors.ArtifactError`) on any malformed payload so
+      the store can degrade to a miss;
+    - ``copy(obj) -> obj`` — defensive copy served on memory-tier hits.
+    """
+
+    kind = "artifact"
+
+    def encode(self, obj):
+        raise NotImplementedError
+
+    def decode(self, text):
+        raise NotImplementedError
+
+    def copy(self, obj):
+        return obj
+
+
+class JsonCodec(Codec):
+    """Codec for plain JSON-serializable values (rows, summaries)."""
+
+    def __init__(self, kind="json"):
+        self.kind = kind
+
+    def encode(self, obj):
+        return json.dumps({"format": "repro-json", "version": 1,
+                           "value": obj}, separators=(",", ":"))
+
+    def decode(self, text):
+        try:
+            payload = json.loads(text)
+        except (json.JSONDecodeError, TypeError) as error:
+            raise ArtifactError("undecodable json artifact: %s" % error)
+        if not isinstance(payload, dict) or payload.get("format") != "repro-json":
+            raise ArtifactError("unknown json artifact format")
+        if payload.get("version") != 1:
+            raise ArtifactError("unsupported json artifact version %r"
+                                % (payload.get("version"),))
+        try:
+            return payload["value"]
+        except KeyError:
+            raise ArtifactError("json artifact lacks a value")
+
+    def copy(self, obj):
+        # Round-tripping keeps served values decoupled from the master
+        # and enforces JSON-serializability at store time.
+        return json.loads(json.dumps(obj))
+
+
+def artifact_key(kind, *parts):
+    """Content-addressed key: ``<kind>-sha256(salt, kind, parts...)``.
+
+    ``parts`` are strings (fingerprints, parameter reprs, upstream
+    keys); the :data:`CODE_VERSION` salt invalidates every existing
+    entry when cached-stage semantics change.
+    """
+    digest = hashlib.sha256()
+    digest.update(("%s\x00%s\x00" % (CODE_VERSION, kind)).encode("utf-8"))
+    for part in parts:
+        digest.update(("%s\x00" % (part,)).encode("utf-8", "surrogatepass"))
+    return "%s-%s" % (kind, digest.hexdigest())
+
+
+class ArtifactStore:
+    """Two-tier (memory LRU + disk directory) content-addressed store."""
+
+    def __init__(self, directory=None, memory_entries=DEFAULT_MEMORY_ENTRIES):
+        self.directory = os.path.abspath(directory) if directory else None
+        self.memory_entries = max(0, int(memory_entries))
+        self._memory = OrderedDict()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self.stats = dict.fromkeys(_STAT_KEYS, 0)
+
+    # -- lookup / store ------------------------------------------------
+    def get(self, key, codec, context="?"):
+        """Cached artifact for ``key`` (a fresh copy) or ``None``.
+
+        A disk hit is promoted into the memory tier.  Undecodable disk
+        artifacts count as ``corrupt`` misses and are left in place for
+        post-mortem inspection (the next store overwrites them).
+        """
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+        if entry is not None:
+            master_codec, master = entry
+            self._record("memory_hits", context=context, tier="memory")
+            return master_codec.copy(master)
+        master = self._disk_get(key, codec, context)
+        if master is not None:
+            self._remember(key, codec, master)
+            self._record("disk_hits", context=context, tier="disk")
+            return codec.copy(master)
+        self._record("misses", context=context)
+        return None
+
+    def put(self, key, obj, codec, context="?"):
+        """Store ``obj`` under ``key`` in every configured tier."""
+        self._remember(key, codec, codec.copy(obj))
+        self._record("stores", context=context)
+        if self.directory is None:
+            return
+        text = codec.encode(obj)
+        path = self._path(key)
+        tmp = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
+        self._record_written(len(text))
+
+    def fetch(self, key, codec, build, context="?"):
+        """Memoize ``build()``: return ``(artifact, hit)``.
+
+        ``hit`` is the serving tier (``"memory"``/``"disk"``) or ``None``
+        when ``build`` actually ran.
+        """
+        found = self.get(key, codec, context=context)
+        if found is not None:
+            return found, self._last_tier
+        result = build()
+        self.put(key, result, codec, context=context)
+        return result, None
+
+    # -- maintenance ---------------------------------------------------
+    def info(self):
+        """Snapshot of configuration, occupancy, and counters."""
+        disk_entries = 0
+        disk_bytes = 0
+        for path in self._disk_paths():
+            try:
+                disk_bytes += os.path.getsize(path)
+                disk_entries += 1
+            except OSError:
+                continue
+        with self._lock:
+            memory_used = len(self._memory)
+        return {
+            "directory": self.directory,
+            "code_version": self._code_version(),
+            "memory_entries": self.memory_entries,
+            "memory_used": memory_used,
+            "disk_entries": disk_entries,
+            "disk_bytes": disk_bytes,
+            "stats": dict(self.stats),
+        }
+
+    def clear(self, memory=True, disk=True):
+        """Drop cached entries; returns the number removed."""
+        removed = 0
+        if memory:
+            with self._lock:
+                removed += len(self._memory)
+                self._memory.clear()
+        if disk:
+            for path in self._disk_paths():
+                try:
+                    os.unlink(path)
+                    removed += 1
+                except OSError:
+                    continue
+        return removed
+
+    # -- internals -----------------------------------------------------
+    @property
+    def _last_tier(self):
+        """Serving tier of this thread's last lookup (None on miss)."""
+        return getattr(self._tls, "tier", None)
+
+    def _code_version(self):
+        """Salt reported by :meth:`info` (subclasses override)."""
+        return CODE_VERSION
+
+    def _path(self, key):
+        return os.path.join(self.directory, key + ".json")
+
+    def _disk_paths(self):
+        if self.directory is None:
+            return []
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return [os.path.join(self.directory, name)
+                for name in sorted(names) if name.endswith(".json")]
+
+    def _disk_get(self, key, codec, context):
+        if self.directory is None:
+            return None
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError:
+            return None
+        try:
+            return codec.decode(text)
+        except ReproError:
+            self._record("corrupt", context=context)
+            return None
+
+    def _remember(self, key, codec, master):
+        if self.memory_entries == 0:
+            return
+        evicted = 0
+        with self._lock:
+            self._memory[key] = (codec, master)
+            self._memory.move_to_end(key)
+            while len(self._memory) > self.memory_entries:
+                self._memory.popitem(last=False)
+                evicted += 1
+        for _ in range(evicted):
+            self._record("evictions")
+
+    def _record(self, stat, context=None, tier=None):
+        self.stats[stat] += 1
+        if stat.endswith("_hits"):
+            self._tls.tier = tier
+        elif stat == "misses":
+            self._tls.tier = None
+        self._emit(stat, context=context, tier=tier)
+
+    def _emit(self, stat, context=None, tier=None):
+        """Metric hook; the base store records nothing per lookup.
+
+        Stage-level hit/miss accounting belongs to the runtime scheduler
+        (``repro_runtime_stage_{hits,misses}_total``); subclasses with
+        their own catalogue entries (the transform cache) override this.
+        """
+
+    def _record_written(self, nbytes):
+        if OBS.active:
+            OBS.instruments.runtime_artifact_bytes_written.inc(nbytes)
+
+
+_ACTIVE = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def get_store():
+    """The process-wide store (created on first use from :data:`ENV_VAR`)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        with _ACTIVE_LOCK:
+            if _ACTIVE is None:
+                _ACTIVE = ArtifactStore(
+                    directory=os.environ.get(ENV_VAR) or None)
+    return _ACTIVE
+
+
+def configure(directory=None, memory_entries=DEFAULT_MEMORY_ENTRIES):
+    """Replace the process-wide store; returns the new one.
+
+    The CLI's ``--artifact-dir`` flag and ``ParallelRunner`` worker
+    initializers call this so every process shares one artifact
+    directory.
+    """
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        _ACTIVE = ArtifactStore(
+            directory=directory, memory_entries=memory_entries)
+    return _ACTIVE

@@ -41,13 +41,16 @@ def default_workers():
     return os.cpu_count() or 1
 
 
-def _initialize_worker(cache_directory):
-    """Process-pool initializer: point the worker's transform cache at
-    the parent's artifact directory so workers share compiled automata
-    through the disk tier instead of re-transforming per process."""
+def _initialize_worker(cache_directory, artifact_directory=None):
+    """Process-pool initializer: point the worker's transform cache and
+    stage-graph artifact store at the parent's directories so workers
+    share compiled automata and stage artifacts through the disk tiers
+    instead of recomputing per process."""
+    from ..runtime.store import configure as configure_store
     from ..transform.cache import configure
 
     configure(directory=cache_directory)
+    configure_store(directory=artifact_directory)
 
 
 class ParallelRunner:
@@ -86,15 +89,18 @@ class ParallelRunner:
         results = None
         pool_workers = min(self.workers, len(jobs)) if jobs else 1
         if pool_workers > 1:
+            from ..runtime.store import get_store
             from ..transform.cache import get_cache
             cache_directory = get_cache().directory
+            artifact_directory = get_store().directory
             with trace_span("parallel.map", workers=pool_workers,
                             jobs=len(jobs)):
                 try:
                     with ProcessPoolExecutor(
                             max_workers=pool_workers,
                             initializer=_initialize_worker,
-                            initargs=(cache_directory,)) as pool:
+                            initargs=(cache_directory,
+                                      artifact_directory)) as pool:
                         results = list(pool.map(func, jobs,
                                                 chunksize=self.chunksize))
                     mode = "process"

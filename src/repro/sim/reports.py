@@ -9,6 +9,13 @@ model, and Sunder's in-subarray reporting region).
 
 from collections import Counter
 
+from ..errors import ArtifactError
+
+#: Versioned serialization identifiers for recorder payloads (consumed
+#: by the stage-graph runtime's artifact store).
+PAYLOAD_FORMAT = "repro-report-stream"
+PAYLOAD_VERSION = 1
+
 
 class ReportEvent:
     """One report occurrence.
@@ -35,6 +42,16 @@ class ReportEvent:
     def key(self):
         """(position, report_code) pair used for equivalence checking."""
         return (self.position, self.report_code)
+
+    def to_record(self):
+        """Compact JSON-serializable form (see :meth:`from_record`)."""
+        return [self.position, self.cycle, self.state_id, self.report_code]
+
+    @classmethod
+    def from_record(cls, record):
+        """Rebuild an event from :meth:`to_record` output."""
+        position, cycle, state_id, report_code = record
+        return cls(position, cycle, state_id, report_code)
 
     def __repr__(self):
         return "ReportEvent(pos=%d, cycle=%d, state=%r, code=%r)" % (
@@ -112,6 +129,59 @@ class ReportRecorder:
             if cycle < total_cycles:
                 profile[cycle] = count
         return profile
+
+    # ------------------------------------------------------------------
+    # Versioned serialization (artifact-store payloads)
+    # ------------------------------------------------------------------
+    def to_payload(self):
+        """Versioned JSON-serializable dict capturing the full recorder.
+
+        Event order, per-cycle aggregate insertion order, and the
+        recording parameters all round-trip exactly through
+        :meth:`from_payload`, so a replayed recorder drives the
+        reporting-architecture models identically to the original.
+        """
+        return {
+            "format": PAYLOAD_FORMAT,
+            "version": PAYLOAD_VERSION,
+            "keep_events": self.keep_events,
+            "position_limit": self.position_limit,
+            "total_reports": self.total_reports,
+            "reports_per_cycle": [
+                [cycle, count]
+                for cycle, count in self.reports_per_cycle.items()
+            ],
+            "events": [event.to_record() for event in self.events],
+        }
+
+    @classmethod
+    def from_payload(cls, payload):
+        """Rebuild a recorder from a :meth:`to_payload` dict.
+
+        Raises :class:`~repro.errors.ArtifactError` on any malformed or
+        version-mismatched payload, so the artifact store can treat
+        corruption as a recoverable miss.
+        """
+        try:
+            if payload.get("format") != PAYLOAD_FORMAT:
+                raise ArtifactError(
+                    "unknown report-stream format %r" % (payload.get("format"),))
+            if payload.get("version") != PAYLOAD_VERSION:
+                raise ArtifactError(
+                    "unsupported report-stream version %r"
+                    % (payload.get("version"),))
+            recorder = cls(keep_events=bool(payload["keep_events"]),
+                           position_limit=payload["position_limit"])
+            recorder.total_reports = int(payload["total_reports"])
+            for cycle, count in payload["reports_per_cycle"]:
+                recorder.reports_per_cycle[cycle] = count
+            recorder.events = [ReportEvent.from_record(record)
+                               for record in payload["events"]]
+        except ArtifactError:
+            raise
+        except (KeyError, TypeError, ValueError) as error:
+            raise ArtifactError("malformed report-stream payload: %s" % error)
+        return recorder
 
     def summary(self, total_cycles):
         """Table 1's dynamic columns for this run."""

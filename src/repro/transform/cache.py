@@ -8,17 +8,15 @@ content-addressed key and reused across experiments (Table 3 and Table 4
 share the intermediate nibble machine), across repeated CLI runs, and
 across ``ParallelRunner`` worker processes.
 
-Two tiers:
+:class:`TransformCache` is the automaton-kind specialization of the
+shared two-tier :class:`~repro.runtime.store.ArtifactStore` (the generic
+machinery — memory LRU of masters served as copies, atomic disk
+artifacts, corruption-degrades-to-miss — lives there; the stage-graph
+runtime uses the same store for workload instances and simulation report
+streams).  This module keeps the transform-specific parts: SHA-256 keys
+salted by the pipeline :data:`CODE_VERSION`, the ``transform.cache``
+span, and the ``repro_transform_cache_*`` metric family.
 
-- **memory** — an in-process LRU of master automata; hits return a
-  :meth:`~repro.automata.Automaton.copy` so callers can mutate freely.
-- **disk** — an artifact directory of versioned compact JSON payloads
-  (``<key>.json``), shared between processes.  Writes go through a
-  temporary file plus :func:`os.replace` so concurrent writers and
-  readers never observe a partial entry; a corrupt or truncated
-  artifact degrades to a miss (and a warning metric), never a crash.
-
-Keys are ``sha256(op, code-version salt, source fingerprint, params)``.
 The salt (:data:`CODE_VERSION`) must be bumped whenever the semantics of
 any cached transform change, which invalidates every existing entry.
 """
@@ -26,11 +24,10 @@ any cached transform change, which invalidates every existing entry.
 import hashlib
 import os
 import threading
-from collections import OrderedDict
 
 from ..automata.automaton import Automaton
-from ..errors import AutomatonError
 from ..obs import OBS, trace_span
+from ..runtime.store import ArtifactStore, Codec
 
 #: Pipeline code-version salt mixed into every cache key.  Bump this
 #: whenever ``to_nibbles``/``square``/``stride``/``minimize`` semantics
@@ -44,20 +41,33 @@ ENV_VAR = "REPRO_TRANSFORM_CACHE"
 #: Default capacity (entries) of the in-process LRU tier.
 DEFAULT_MEMORY_ENTRIES = 128
 
-_STAT_KEYS = ("memory_hits", "disk_hits", "misses", "stores",
-              "evictions", "corrupt")
+
+class AutomatonCodec(Codec):
+    """Artifact codec for compiled automata (compact JSON v1 payloads)."""
+
+    kind = "automaton"
+
+    def encode(self, obj):
+        return obj.dumps()
+
+    def decode(self, text):
+        # Automaton.loads raises AutomatonError (a ReproError) on any
+        # malformed payload, which the store degrades to a corrupt miss.
+        return Automaton.loads(text)
+
+    def copy(self, obj):
+        return obj.copy()
 
 
-class TransformCache:
-    """Two-tier (memory LRU + disk directory) content-addressed store."""
+#: Shared codec instance (stateless).
+AUTOMATON_CODEC = AutomatonCodec()
+
+
+class TransformCache(ArtifactStore):
+    """Two-tier (memory LRU + disk directory) automaton store."""
 
     def __init__(self, directory=None, memory_entries=DEFAULT_MEMORY_ENTRIES):
-        self.directory = os.path.abspath(directory) if directory else None
-        self.memory_entries = max(0, int(memory_entries))
-        self._memory = OrderedDict()
-        self._lock = threading.Lock()
-        self._tls = threading.local()
-        self.stats = dict.fromkeys(_STAT_KEYS, 0)
+        super().__init__(directory=directory, memory_entries=memory_entries)
 
     # -- keys ----------------------------------------------------------
     @staticmethod
@@ -74,49 +84,12 @@ class TransformCache:
 
     # -- lookup / store ------------------------------------------------
     def get(self, key, op="?"):
-        """Cached automaton for ``key`` (a fresh copy) or ``None``.
-
-        A disk hit is promoted into the memory tier.  Undecodable disk
-        artifacts count as ``corrupt`` misses and are left in place for
-        post-mortem inspection (the next store overwrites them).
-        """
-        with self._lock:
-            master = self._memory.get(key)
-            if master is not None:
-                self._memory.move_to_end(key)
-        if master is not None:
-            self._record("memory_hits", op=op, tier="memory")
-            return master.copy()
-        master = self._disk_get(key, op)
-        if master is not None:
-            self._remember(key, master)
-            self._record("disk_hits", op=op, tier="disk")
-            return master.copy()
-        self._record("misses", op=op)
-        return None
+        """Cached automaton for ``key`` (a fresh copy) or ``None``."""
+        return super().get(key, AUTOMATON_CODEC, context=op)
 
     def put(self, key, automaton, op="?"):
         """Store ``automaton`` under ``key`` in every configured tier."""
-        self._remember(key, automaton.copy())
-        self._record("stores", op=op)
-        if self.directory is None:
-            return
-        text = automaton.dumps()
-        path = self._path(key)
-        tmp = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
-        try:
-            os.makedirs(self.directory, exist_ok=True)
-            with open(tmp, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            return
-        if OBS.active:
-            OBS.instruments.transform_cache_bytes_written.inc(len(text))
+        super().put(key, automaton, AUTOMATON_CODEC, context=op)
 
     def fetch(self, op, source, build, **params):
         """Memoize ``build()``: return ``(automaton, hit)``.
@@ -138,97 +111,11 @@ class TransformCache:
         self.put(key, result, op=op)
         return result, None
 
-    # -- maintenance ---------------------------------------------------
-    def info(self):
-        """Snapshot of configuration, occupancy, and counters."""
-        disk_entries = 0
-        disk_bytes = 0
-        for path in self._disk_paths():
-            try:
-                disk_bytes += os.path.getsize(path)
-                disk_entries += 1
-            except OSError:
-                continue
-        with self._lock:
-            memory_used = len(self._memory)
-        return {
-            "directory": self.directory,
-            "code_version": CODE_VERSION,
-            "memory_entries": self.memory_entries,
-            "memory_used": memory_used,
-            "disk_entries": disk_entries,
-            "disk_bytes": disk_bytes,
-            "stats": dict(self.stats),
-        }
+    # -- telemetry -----------------------------------------------------
+    def _code_version(self):
+        return CODE_VERSION
 
-    def clear(self, memory=True, disk=True):
-        """Drop cached entries; returns the number removed."""
-        removed = 0
-        if memory:
-            with self._lock:
-                removed += len(self._memory)
-                self._memory.clear()
-        if disk:
-            for path in self._disk_paths():
-                try:
-                    os.unlink(path)
-                    removed += 1
-                except OSError:
-                    continue
-        return removed
-
-    # -- internals -----------------------------------------------------
-    @property
-    def _last_tier(self):
-        """Serving tier of this thread's last lookup (None on miss)."""
-        return getattr(self._tls, "tier", None)
-
-    def _path(self, key):
-        return os.path.join(self.directory, key + ".json")
-
-    def _disk_paths(self):
-        if self.directory is None:
-            return []
-        try:
-            names = os.listdir(self.directory)
-        except OSError:
-            return []
-        return [os.path.join(self.directory, name)
-                for name in sorted(names) if name.endswith(".json")]
-
-    def _disk_get(self, key, op):
-        if self.directory is None:
-            return None
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as handle:
-                text = handle.read()
-        except OSError:
-            return None
-        try:
-            return Automaton.loads(text)
-        except AutomatonError:
-            self._record("corrupt", op=op)
-            return None
-
-    def _remember(self, key, master):
-        if self.memory_entries == 0:
-            return
-        evicted = 0
-        with self._lock:
-            self._memory[key] = master
-            self._memory.move_to_end(key)
-            while len(self._memory) > self.memory_entries:
-                self._memory.popitem(last=False)
-                evicted += 1
-        for _ in range(evicted):
-            self._record("evictions")
-
-    def _record(self, stat, op=None, tier=None):
-        self.stats[stat] += 1
-        if stat.endswith("_hits"):
-            self._tls.tier = tier
-        elif stat == "misses":
-            self._tls.tier = None
+    def _emit(self, stat, context=None, tier=None):
         if not OBS.active:
             return
         instruments = OBS.instruments
@@ -240,6 +127,10 @@ class TransformCache:
             instruments.transform_cache_evictions.inc()
         elif stat == "corrupt":
             instruments.transform_cache_corrupt.inc()
+
+    def _record_written(self, nbytes):
+        if OBS.active:
+            OBS.instruments.transform_cache_bytes_written.inc(nbytes)
 
 
 class _ThreadState(threading.local):

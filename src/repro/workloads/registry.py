@@ -194,6 +194,27 @@ _BUILDERS = {
 #: Benchmark names in the paper's Table 1 order.
 BENCHMARK_NAMES = tuple(PAPER_TABLE1)
 
+#: Generator code-version salt mixed into workload-instance fingerprints.
+#: Bump whenever any builder's output for a fixed ``(name, scale, seed)``
+#: can change, so artifact stores never serve instances from older code.
+GENERATOR_VERSION = "2026.08-wl-1"
+
+
+def instance_fingerprint(name, scale, seed):
+    """Content fingerprint of ``generate(name, scale, seed)``'s output.
+
+    Generation is deterministic, so the parameters plus the
+    :data:`GENERATOR_VERSION` salt fully identify the instance — the
+    stage-graph runtime uses this as the ``generate`` stage's artifact
+    key material without building anything.
+    """
+    if name not in _BUILDERS:
+        raise WorkloadError(
+            "unknown benchmark %r (choose from %s)"
+            % (name, ", ".join(BENCHMARK_NAMES))
+        )
+    return "%s:%s:scale=%r:seed=%r" % (GENERATOR_VERSION, name, scale, seed)
+
 
 def generate(name, scale=0.02, seed=0):
     """Build one benchmark instance by name."""
