@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine bench-transform bench-runtime repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -22,6 +22,11 @@ bench-transform:
 
 bench-runtime:
 	$(PYTHON) scripts/bench_runtime.py --scale $(SCALE) --out BENCH_runtime.json
+
+# Device-fidelity comparison (literal oracle vs packed kernel); runs at
+# a fixed small scale because the literal path bounds feasible sizes.
+bench-device:
+	$(PYTHON) scripts/bench_device.py --scale 0.01 --out BENCH_device.json
 
 repro:
 	$(PYTHON) examples/reproduce_paper.py $(SCALE)

@@ -1,0 +1,49 @@
+"""Tier-2 smoke: the device microbenchmark payload validates its schema.
+
+Mirrors ``make bench-device`` at a tiny scale so drift in the
+``BENCH_device.json`` trajectory format — or a packed kernel whose
+report stream diverges from the literal oracle — fails fast.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_device  # noqa: E402
+
+
+def test_bench_device_payload_schema(bench_scale, tmp_path):
+    out = tmp_path / "BENCH_device.json"
+    code = bench_device.main([
+        "--scale", str(min(bench_scale, 0.003)),
+        "--repeats", "1",
+        "--input-bytes", "400",
+        "--workloads", "Bro217", "Hamming",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_device.validate_payload(payload)
+    assert [row["name"] for row in payload["workloads"]] == [
+        "Bro217", "Hamming"]
+    # Parity with the literal oracle is part of the schema contract.
+    assert all(row["reports_identical"] for row in payload["workloads"])
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_device.validate_payload({"schema": "something-else"})
+    payload = bench_device.run_suite(scale=0.002, repeats=1, input_bytes=300,
+                                     workloads=("Bro217",))
+    bench_device.validate_payload(payload)
+    broken = dict(payload, workloads=[])
+    with pytest.raises(ValueError):
+        bench_device.validate_payload(broken)
+    diverged = json.loads(json.dumps(payload))
+    diverged["workloads"][0]["reports_identical"] = False
+    with pytest.raises(ValueError):
+        bench_device.validate_payload(diverged)

@@ -1,0 +1,227 @@
+"""Device microbenchmark suite -> ``BENCH_device.json`` trajectory file.
+
+Usage:  python scripts/bench_device.py [--scale S] [--repeats N]
+                                       [--input-bytes B] [--out PATH]
+
+For each calibrated workload the suite measures steady-state device
+cycles/sec of three :class:`~repro.core.device.SunderDevice`
+configurations over the same strided input stream:
+
+- ``literal``        — the bit-level oracle path (numpy wired-NORs,
+  crossbar row activations), kept as the comparison anchor;
+- ``packed``         — the bitmask-compiled kernel with the step cache
+  off (isolates the integer-arithmetic win);
+- ``packed_cached``  — the shipping default (packed kernel + LRU step
+  cache), with its measured cache hit rate.
+
+Every configuration's report stream is checked identical to the literal
+oracle's before timings are accepted.  The payload (schema below,
+pinned by ``validate_payload`` and the tier-2 smoke
+``benchmarks/test_bench_device.py``) records per-config throughput,
+kernel compile seconds, cache hit rates, and the idle-PU skip fraction.
+
+Run via ``make bench-device``.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import PUS_PER_CLUSTER, SunderConfig, SunderDevice  # noqa: E402
+from repro.sim import stream_for  # noqa: E402
+from repro.transform import to_rate  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+#: Schema identifier written into (and required from) every payload.
+SCHEMA = "repro-bench-device"
+SCHEMA_VERSION = 1
+
+#: Default workload subset: report-heavy, state-dense, and sparse ends.
+DEFAULT_WORKLOADS = ("Snort", "Bro217", "Hamming", "Fermi")
+
+#: The measured device configurations, in presentation order.
+DEVICE_CONFIGS = (
+    ("literal", {"fidelity": "literal"}),
+    ("packed", {"fidelity": "packed", "step_cache": 0}),
+    ("packed_cached", {"fidelity": "packed"}),
+)
+
+#: Processing rate of the device under test (the paper's headline rate).
+RATE = 4
+
+
+def _reset_dynamic_state(device):
+    """Return a device to its freshly-configured dynamic state.
+
+    Clears enables/actives, the cycle counter, every reporting region's
+    pointers and statistics, the host archives, and the shared FIFO
+    drain credit — so repeated timing runs do identical work.  The
+    compiled kernel and its step cache survive (steady state is the
+    point of the repeats).
+    """
+    device.reset_matching_state()
+    for _, _, pu in device.iter_pus():
+        pu.reporting.reset_counters()
+    for cluster in device.clusters:
+        for archive in cluster.archives:
+            archive.batches.clear()
+    if hasattr(device, "_drain_credit"):
+        device._drain_credit = 0.0
+
+
+def bench_workload(name, scale, seed, repeats, input_bytes):
+    """Cycles/sec for every device configuration on one workload."""
+    instance = generate(name, scale=scale, seed=seed)
+    strided = to_rate(instance.automaton, RATE)
+    data = instance.input_bytes[:input_bytes]
+    vectors, limit = stream_for(strided, data)
+    config = SunderConfig(rate_nibbles=RATE)
+
+    configs = {}
+    report_keys = {}
+    pus_used = 0
+    for label, knobs in DEVICE_CONFIGS:
+        device = SunderDevice(config, **knobs)
+        placement = device.configure(strided)
+        pus_used = len(placement.pus_used())
+        # Warm-up run: compiles the packed kernel, fills the step cache,
+        # and yields the report stream for the cross-config parity check.
+        result = device.run(vectors, position_limit=limit)
+        report_keys[label] = result.reports().event_keys()
+        best = math.inf
+        for _ in range(repeats):
+            _reset_dynamic_state(device)
+            start = time.perf_counter()
+            device.run(vectors, position_limit=limit)
+            best = min(best, time.perf_counter() - start)
+        kernel = device._kernel
+        pu_cycles = len(vectors) * len(list(device.iter_pus())) * (repeats + 1)
+        configs[label] = {
+            "fidelity": device.fidelity,
+            "step_cache": device.step_cache_info()["limit"],
+            "cycles_per_sec": len(vectors) / best,
+            "cache_hit_rate": device.step_cache_info()["hit_rate"],
+            "compile_seconds": kernel.compile_seconds if kernel else 0.0,
+            "pus_skipped_fraction": (
+                kernel.pus_skipped / pu_cycles if kernel else 0.0),
+        }
+    reports_identical = all(keys == report_keys["literal"]
+                            for keys in report_keys.values())
+    return {
+        "name": name,
+        "states": len(strided),
+        "pus": pus_used,
+        "cycles": len(vectors),
+        "reports": len(report_keys["literal"]),
+        "reports_identical": reports_identical,
+        "configs": configs,
+        "speedup": (configs["packed_cached"]["cycles_per_sec"]
+                    / configs["literal"]["cycles_per_sec"]),
+    }
+
+
+def run_suite(scale=0.01, seed=0, repeats=3, input_bytes=4000,
+              workloads=DEFAULT_WORKLOADS):
+    """Measure everything; returns the BENCH_device payload dict."""
+    rows = [bench_workload(name, scale, seed, repeats, input_bytes)
+            for name in workloads]
+    geomean = math.exp(
+        sum(math.log(row["speedup"]) for row in rows) / len(rows))
+    return {
+        "version": SCHEMA_VERSION,
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "rate": RATE,
+        "input_bytes": input_bytes,
+        "workloads": rows,
+        "geomean_speedup": geomean,
+    }
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("BENCH_device payload invalid: %s" % message)
+
+
+def validate_payload(payload):
+    """Schema check for the trajectory file; raises ValueError on drift.
+
+    Returns the payload unchanged so callers can chain.
+    """
+    _require(isinstance(payload, dict), "expected an object")
+    _require(payload.get("schema") == SCHEMA, "schema != %r" % SCHEMA)
+    _require(payload.get("version") == SCHEMA_VERSION,
+             "version != %d" % SCHEMA_VERSION)
+    for field in ("scale", "seed", "repeats", "rate", "input_bytes",
+                  "geomean_speedup"):
+        _require(isinstance(payload.get(field), (int, float)),
+                 "%s must be a number" % field)
+    rows = payload.get("workloads")
+    _require(isinstance(rows, list) and rows, "workloads must be non-empty")
+    expected = {label for label, _ in DEVICE_CONFIGS}
+    for row in rows:
+        _require(isinstance(row.get("name"), str), "workload name")
+        for field in ("states", "cycles"):
+            _require(isinstance(row.get(field), int) and row[field] > 0,
+                     "%s must be a positive int" % field)
+        _require(row.get("reports_identical") is True,
+                 "%s: packed reports diverged from literal" % row.get("name"))
+        _require(isinstance(row.get("speedup"), (int, float)),
+                 "workload speedup")
+        configs = row.get("configs")
+        _require(isinstance(configs, dict) and set(configs) == expected,
+                 "configs must cover %s" % sorted(expected))
+        for label, stats in configs.items():
+            _require(stats.get("cycles_per_sec", 0) > 0,
+                     "%s cycles_per_sec" % label)
+            _require(0.0 <= stats.get("cache_hit_rate", -1) <= 1.0,
+                     "%s cache_hit_rate" % label)
+            _require(stats.get("compile_seconds", -1) >= 0.0,
+                     "%s compile_seconds" % label)
+            _require(0.0 <= stats.get("pus_skipped_fraction", -1) <= 1.0,
+                     "%s pus_skipped_fraction" % label)
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--input-bytes", type=int, default=4000,
+                        help="bytes of each workload's stream to run "
+                             "(the literal oracle bounds feasible sizes)")
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--out", default="BENCH_device.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale, seed=args.seed,
+                        repeats=args.repeats, input_bytes=args.input_bytes,
+                        workloads=args.workloads)
+    validate_payload(payload)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for row in payload["workloads"]:
+        cached = row["configs"]["packed_cached"]
+        print("%-12s %6d states %6d cycles  literal %8.0f c/s   "
+              "packed+cache %9.0f c/s  (%.2fx, hit %.1f%%, skip %.1f%%)" % (
+                  row["name"], row["states"], row["cycles"],
+                  row["configs"]["literal"]["cycles_per_sec"],
+                  cached["cycles_per_sec"], row["speedup"],
+                  100 * cached["cache_hit_rate"],
+                  100 * cached["pus_skipped_fraction"]))
+    print("geomean speedup: %.2fx" % payload["geomean_speedup"])
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

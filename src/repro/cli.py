@@ -32,6 +32,12 @@ result rows persist across runs, so a warm directory re-renders every
 table without re-executing the expensive stages.  Unless
 ``--transform-cache`` names its own directory, the transform cache
 piggybacks on ``DIR/transforms``.
+
+The global ``--device-fidelity {auto,literal,packed}`` flag selects the
+:class:`~repro.core.device.SunderDevice` execution path for ``match``
+and the device-bearing experiments (table4, figure10): ``packed`` runs
+the bitmask-compiled kernel, ``literal`` the bit-level oracle (see
+docs/performance.md).
 """
 
 import argparse
@@ -72,7 +78,8 @@ def cmd_compile(args):
 def cmd_match(args):
     machine = to_rate(_build_ruleset(args.patterns), args.rate)
     device = SunderDevice(SunderConfig(rate_nibbles=args.rate,
-                                       report_bits=args.report_bits))
+                                       report_bits=args.report_bits),
+                          fidelity=args.device_fidelity)
     device.configure(machine)
     if args.text is not None:
         data = args.text.encode()
@@ -113,6 +120,8 @@ _SCALED_EXPERIMENTS = ("table1", "table3", "table4", "figure8", "scorecard")
 #: Experiments whose entry points fan out through ParallelRunner.
 _PARALLEL_EXPERIMENTS = ("table1", "table3", "table4",
                          "figure8", "figure9", "figure10", "scorecard")
+#: Experiments whose stage graphs carry the device-fidelity knob.
+_FIDELITY_EXPERIMENTS = ("table4", "figure10")
 
 
 def cmd_experiment(args):
@@ -123,6 +132,8 @@ def cmd_experiment(args):
         kwargs["seed"] = args.seed
     if args.name in _PARALLEL_EXPERIMENTS:
         kwargs["workers"] = args.workers
+    if args.name in _FIDELITY_EXPERIMENTS:
+        kwargs["fidelity"] = args.device_fidelity
     module.main(**kwargs)
     return 0
 
@@ -326,6 +337,12 @@ def build_parser():
         help="persist stage-graph artifacts (workloads, simulation "
              "runs, result rows) in DIR (also: REPRO_ARTIFACT_DIR); "
              "the transform cache defaults to DIR/transforms")
+    parser.add_argument(
+        "--device-fidelity", default="auto",
+        choices=["auto", "literal", "packed"],
+        help="SunderDevice execution path: 'packed' compiles the "
+             "programmed subarrays into integer bitmasks (fast), "
+             "'literal' keeps the bit-level oracle; 'auto' picks packed")
     commands = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = commands.add_parser(

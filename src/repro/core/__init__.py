@@ -13,6 +13,14 @@ from .host import AddressMap, HostInterface
 from .interconnect import CrossbarSwitch, GlobalSwitch
 from .mapping import Placement, StateSlot, place
 from .match_array import MatchArray
+from .packed import (
+    DEFAULT_DEVICE_STEP_CACHE,
+    FIDELITIES,
+    PackedKernel,
+    pack_bits,
+    resolve_fidelity,
+    unpack_bits,
+)
 from .perfmodel import (
     HOST_BITS_PER_CYCLE,
     PerfResult,
@@ -35,7 +43,13 @@ from .subarray import MAX_ACTIVATED_ROWS, SramSubarray
 __all__ = [
     "AddressMap",
     "CrossbarSwitch",
+    "DEFAULT_DEVICE_STEP_CACHE",
+    "FIDELITIES",
     "GlobalSwitch",
+    "PackedKernel",
+    "pack_bits",
+    "resolve_fidelity",
+    "unpack_bits",
     "HOST_BITS_PER_CYCLE",
     "HostArchive",
     "HostInterface",

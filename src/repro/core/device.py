@@ -6,6 +6,17 @@ later decoded back out of) the reporting rows.  It is differential-tested
 against :class:`~repro.sim.engine.BitsetEngine`, which is the point: the
 architecture provably computes the same language as the abstract NFA.
 
+Two execution fidelities share this interface (the ``fidelity`` knob):
+
+- ``"literal"`` — the original bit-level loop, kept as the differential
+  oracle: numpy wired-NORs, crossbar row activations, the works.
+- ``"packed"`` (what ``"auto"`` selects) — the programmed subarrays are
+  compiled once into integer bitmasks (:mod:`repro.core.packed`) and
+  cycles execute as int arithmetic with an LRU step cache and idle-PU
+  skipping.  Reporting stays literal; matching-side access counters are
+  derived analytically, so results, statistics, and energy are
+  bit-identical across fidelities.
+
 For large parameter sweeps use :mod:`repro.core.perfmodel`, which
 reproduces only the timing behaviour from a report profile.
 """
@@ -18,6 +29,7 @@ from ..sim.reports import ReportRecorder
 from .config import PUS_PER_CLUSTER, SunderConfig
 from .interconnect import GlobalSwitch
 from .mapping import place
+from .packed import DEFAULT_DEVICE_STEP_CACHE, PackedKernel, resolve_fidelity
 from .pu import ProcessingUnit
 
 
@@ -58,7 +70,8 @@ class SunderDevice:
         result = device.run(vectors, position_limit=...)
     """
 
-    def __init__(self, config=None, max_clusters=None):
+    def __init__(self, config=None, max_clusters=None, fidelity="auto",
+                 step_cache=DEFAULT_DEVICE_STEP_CACHE):
         self.config = config if config is not None else SunderConfig()
         self.max_clusters = max_clusters
         self.clusters = []
@@ -68,6 +81,11 @@ class SunderDevice:
         #: "automata" (AM) or "normal" (NM) — paper Section 5.1: in NM the
         #: subarrays behave as ordinary cache storage and matching halts.
         self.mode = "automata"
+        #: Resolved execution fidelity ("literal" or "packed").
+        self.fidelity = resolve_fidelity(fidelity)
+        self._step_cache_limit = step_cache
+        self._kernel = None
+        self._regions = []
 
     # ------------------------------------------------------------------
     # Configuration
@@ -113,6 +131,8 @@ class SunderDevice:
         self.placement = placement
         self.automaton = automaton
         self.global_cycle = 0
+        self._kernel = None
+        self._regions = [pu.reporting for _, _, pu in self.iter_pus()]
         return placement
 
     def _record_configure_metrics(self, placement):
@@ -140,30 +160,101 @@ class SunderDevice:
 
     def step(self, vector):
         """Execute one vector cycle; returns stall cycles charged."""
+        self._check_runnable()
+        if isinstance(vector, int):
+            vector = (vector,)
+        else:
+            vector = tuple(vector)
+        if self.fidelity == "packed":
+            stall = self._packed_step(vector)
+            # Single-step callers may read pu.enable/pu.active between
+            # cycles, so packed state is materialized eagerly here; the
+            # bulk run() path syncs once at the end instead.
+            self._sync_kernel()
+            return stall
+        return self._literal_step(vector)
+
+    def _check_runnable(self):
         if self.placement is None:
             raise ArchitectureError("configure() must run before step()")
         if self.mode != "automata":
             raise ArchitectureError(
                 "device is in Normal Mode; call set_mode('automata') first"
             )
+
+    def _literal_step(self, vector):
         cycle = self.global_cycle
         start_boundary = cycle % self.automaton.start_period == 0
         stall = 0
-        all_regions = []
         for cluster in self.clusters:
             actives = []
             for pu in cluster.pus:
                 _, pu_stall = pu.match_cycle(vector, cycle, start_boundary)
                 stall += pu_stall
-                all_regions.append(pu.reporting)
             for pu in cluster.pus:
                 actives.append(pu.active)
             remote = cluster.global_switch.propagate(actives)
             for index, pu in enumerate(cluster.pus):
                 pu.set_enable(pu.propagate() | remote[index])
-        self._fifo_drain(all_regions)
+        self._fifo_drain(self._regions)
         self.global_cycle += 1
         return stall
+
+    def _packed_step(self, vector):
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._compile_kernel()
+        cycle = self.global_cycle
+        stall = kernel.step(
+            vector, cycle, cycle % self.automaton.start_period == 0
+        )
+        self._fifo_drain(self._regions)
+        self.global_cycle += 1
+        return stall
+
+    def _compile_kernel(self):
+        """Compile the programmed subarrays into the packed kernel."""
+        with trace_span("device.compile_kernel"):
+            kernel = PackedKernel(self, step_cache=self._step_cache_limit)
+        self._kernel = kernel
+        if OBS.active:
+            OBS.instruments.device_kernel_compile_seconds.observe(
+                kernel.compile_seconds)
+        return kernel
+
+    def _sync_kernel(self):
+        kernel = self._kernel
+        if kernel is not None:
+            kernel.sync()
+
+    def sync_dynamic_state(self):
+        """Materialize packed state into the literal arrays and counters.
+
+        A no-op under the literal fidelity (and when no kernel has been
+        compiled yet).  Called by anything that reads ``pu.enable`` /
+        ``pu.active`` or the matching-side subarray access counters
+        directly — snapshots, the energy model, host-side inspection.
+        """
+        self._sync_kernel()
+
+    def invalidate_kernel(self):
+        """Drop the compiled kernel after out-of-band subarray writes.
+
+        Host stores (:meth:`~repro.core.host.HostInterface.store_row`)
+        can rewrite matching rows or crossbar cells behind the compiled
+        masks; the next packed step recompiles from the subarrays.
+        """
+        self._sync_kernel()
+        self._kernel = None
+
+    def step_cache_info(self):
+        """Device step-cache statistics (all zero before the first
+        packed step, and under the literal fidelity)."""
+        kernel = self._kernel
+        if kernel is None:
+            return {"hits": 0, "misses": 0, "hit_rate": 0.0, "size": 0,
+                    "limit": self._step_cache_limit}
+        return kernel.cache_info()
 
     def _fifo_drain(self, regions):
         """Share the host's drain bandwidth across non-empty regions."""
@@ -191,27 +282,49 @@ class SunderDevice:
 
     def run(self, vectors, position_limit=None):
         """Stream a whole input; returns a :class:`RunResult`."""
-        vectors = list(vectors)
+        # Normalize the stream to tuples once at ingestion; the cycle
+        # loop and the step cache then reuse them without per-cycle
+        # re-conversion (same micro-fix BitsetEngine.run got).
+        vectors = [(vector,) if isinstance(vector, int) else tuple(vector)
+                   for vector in vectors]
         if OBS.active:  # single attribute check when no collector attached
             return self._run_observed(vectors, position_limit)
-        total_stall = 0
-        for vector in vectors:
-            if isinstance(vector, int):
-                vector = (vector,)
-            total_stall += self.step(tuple(vector))
+        total_stall = self._execute(vectors)
         return RunResult(self, len(vectors), total_stall, position_limit)
+
+    def _execute(self, vectors):
+        """The fidelity-dispatched cycle loop over a normalized stream."""
+        self._check_runnable()
+        total_stall = 0
+        if self.fidelity == "packed":
+            kernel = self._kernel
+            if kernel is None:
+                kernel = self._compile_kernel()
+            step = kernel.step
+            drain = self._fifo_drain
+            regions = self._regions
+            period = self.automaton.start_period
+            cycle = self.global_cycle
+            for vector in vectors:
+                total_stall += step(vector, cycle, cycle % period == 0)
+                drain(regions)
+                cycle += 1
+            self.global_cycle = cycle
+            self._sync_kernel()
+            return total_stall
+        step = self._literal_step
+        for vector in vectors:
+            total_stall += step(vector)
+        return total_stall
 
     def _run_observed(self, vectors, position_limit):
         """`run` with the telemetry hooks live (collector attached)."""
         instruments = OBS.instruments
         flushes_before = sum(pu.reporting.flushes for _, _, pu in self.iter_pus())
-        total_stall = 0
+        kernel_before = self._kernel_counters()
         with trace_span("device.run", cycles=len(vectors)) as span:
             start = perf_counter()
-            for vector in vectors:
-                if isinstance(vector, int):
-                    vector = (vector,)
-                total_stall += self.step(tuple(vector))
+            total_stall = self._execute(vectors)
             elapsed = perf_counter() - start
             span.set_attr(stall_cycles=total_stall)
         instruments.device_cycles.inc(len(vectors))
@@ -220,7 +333,26 @@ class SunderDevice:
             sum(pu.reporting.flushes for _, _, pu in self.iter_pus())
             - flushes_before)
         instruments.device_run_seconds.observe(elapsed)
+        self._record_kernel_metrics(instruments, kernel_before)
         return RunResult(self, len(vectors), total_stall, position_limit)
+
+    def _kernel_counters(self):
+        kernel = self._kernel
+        if kernel is None:
+            return (0, 0, 0)
+        return (kernel.cache_hits, kernel.cache_misses, kernel.pus_skipped)
+
+    def _record_kernel_metrics(self, instruments, before):
+        kernel = self._kernel
+        if kernel is None:
+            return
+        hits, misses, skipped = before
+        instruments.device_kernel_step_cache_hits.inc(
+            kernel.cache_hits - hits)
+        instruments.device_kernel_step_cache_misses.inc(
+            kernel.cache_misses - misses)
+        instruments.device_kernel_pus_skipped.inc(
+            kernel.pus_skipped - skipped)
 
     # ------------------------------------------------------------------
     # Host interface (Section 5.1.2's access mechanisms)
@@ -272,6 +404,7 @@ class SunderDevice:
         Report-region contents stay put (reports already belong to the
         flow that generated them and carry cycle metadata).
         """
+        self._sync_kernel()
         return {
             "global_cycle": self.global_cycle,
             "enables": [
@@ -289,6 +422,8 @@ class SunderDevice:
             pu = self.clusters[cluster_index].pus[pu_index]
             pu.enable = enable.copy()
             pu.active = active.copy()
+        if self._kernel is not None:
+            self._kernel.reload_dynamic()
 
     def reset_matching_state(self):
         """Clear all dynamic matching state (start a fresh stream)."""
@@ -296,6 +431,8 @@ class SunderDevice:
             pu.enable = pu.enable & False
             pu.active = pu.active & False
         self.global_cycle = 0
+        if self._kernel is not None:
+            self._kernel.reload_dynamic()
 
     def describe(self):
         """Text description of the configured layout (debug aid)."""
@@ -338,6 +475,7 @@ class SunderDevice:
         addressable.  Returns ``{state_id: True}`` for currently-active
         reporting states.
         """
+        self._sync_kernel()
         status = {}
         for _, _, pu in self.iter_pus():
             active_reports = pu.active & pu.report_column_mask
@@ -365,6 +503,7 @@ class SunderDevice:
     # ------------------------------------------------------------------
     def statistics(self):
         """Aggregate device counters."""
+        self._sync_kernel()
         flushes = 0
         stall_cycles = 0
         buffered = 0

@@ -78,6 +78,9 @@ class HostInterface:
         """Host store: configuration write of one row by address."""
         cluster, pu, row = self.address_map.locate(address)
         self._pu(cluster, pu).subarray.write_row(row, bits)
+        # The write may land in matching rows the packed kernel compiled
+        # into bitmasks; drop the kernel so the next step recompiles.
+        self.device.invalidate_kernel()
 
     def clflush_report_region(self, cluster, pu):
         """Evict a PU's used report rows to DRAM for post-processing.

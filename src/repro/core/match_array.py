@@ -108,6 +108,26 @@ class MatchArray:
         """Match restricted to configured columns (ignores unused ones)."""
         return self.match(vector)[: self._configured]
 
+    def packed_match_tables(self):
+        """Per-(position, value) acceptance masks as column-bitmask ints.
+
+        ``tables[position][value]`` has bit ``c`` set iff the state in
+        column ``c`` accepts nibble ``value`` at ``position`` — the
+        un-complemented view of the stored matching rows, compiled for
+        the packed device kernel (a cycle's match vector is the AND of
+        one entry per position).
+        """
+        from .packed import pack_bits
+
+        tables = []
+        for position in range(self.rate_nibbles):
+            row_masks = []
+            for value in range(ROWS_PER_NIBBLE):
+                accepts = ~self.subarray.cells[self.row_of(position, value), :]
+                row_masks.append(pack_bits(accepts))
+            tables.append(row_masks)
+        return tables
+
 
 def match_vector_reference(states, vector):
     """Oracle used in tests: per-state match bits straight from symbol sets."""

@@ -88,13 +88,16 @@ class ProcessingUnit:
             enabled |= self.start_of_data_vector
         if start_boundary:
             enabled |= self.all_input_vector
-        match = self.match_array.match(tuple(vector))
+        match = self.match_array.match(vector)
         active = enabled & match
         self.active = active
         stall = 0
-        report_bits_full = active & self.report_column_mask
-        if report_bits_full.any():
-            report_bits = active[self.report_column_base:]
+        # The reporting columns are the last m; unconfigured columns can
+        # never match and non-reporting states cannot occupy them
+        # (configure_state enforces both), so the slice alone decides
+        # whether anything reported — no full-width mask AND needed.
+        report_bits = active[self.report_column_base:]
+        if report_bits.any():
             stall = self.reporting.append(report_bits, cycle)
         return active, stall
 

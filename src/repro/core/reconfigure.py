@@ -133,12 +133,13 @@ class MultiRoundResult:
 
 
 def run_multi_round(automaton, vectors, config, max_clusters,
-                    position_limit=None):
+                    position_limit=None, fidelity="auto"):
     """Execute ``automaton`` over ``vectors`` in as many rounds as needed.
 
     Returns a :class:`MultiRoundResult` whose recorder holds the merged
     reports of every round (identical to a single-round run on unlimited
-    hardware, which the tests verify).
+    hardware, which the tests verify).  ``fidelity`` selects each
+    round's device execution path.
     """
     vectors = list(vectors)
     rounds = partition_rounds(automaton, config, max_clusters)
@@ -146,7 +147,8 @@ def run_multi_round(automaton, vectors, config, max_clusters,
     configure_cycles = 0
     stall_cycles = 0
     for machine in rounds:
-        device = SunderDevice(config, max_clusters=max_clusters)
+        device = SunderDevice(config, max_clusters=max_clusters,
+                              fidelity=fidelity)
         placement = device.configure(machine)
         configure_cycles += configuration_write_cycles(placement, config)
         result = device.run(vectors, position_limit=position_limit)

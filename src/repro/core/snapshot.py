@@ -52,6 +52,9 @@ def save_device(device, include_dynamic_state=True):
     """Serialize a configured device to a JSON string."""
     if device.placement is None:
         raise ArchitectureError("cannot snapshot an unconfigured device")
+    # Under the packed fidelity the authoritative enable/active vectors
+    # live in the compiled kernel; materialize them first.
+    device.sync_dynamic_state()
     document = {
         "version": FORMAT_VERSION,
         "config": _config_dict(device.config),
@@ -84,11 +87,14 @@ def save_device(device, include_dynamic_state=True):
     return json.dumps(document)
 
 
-def load_device(text):
+def load_device(text, fidelity="auto"):
     """Reconstruct a device from :func:`save_device` output.
 
     The automaton is re-programmed from its MNRL form using the *saved*
     placement (bit-identical layout), then any dynamic state is restored.
+    ``fidelity`` selects the execution path of the rebuilt device; the
+    packed kernel compiles lazily from the restored subarrays, so the
+    dynamic state below lands before any compilation happens.
     """
     document = json.loads(text)
     if document.get("version") != FORMAT_VERSION:
@@ -98,7 +104,7 @@ def load_device(text):
     config = SunderConfig(**document["config"])
     automaton = mnrl.loads(document["automaton_mnrl"])
 
-    device = SunderDevice(config)
+    device = SunderDevice(config, fidelity=fidelity)
     placement = Placement(automaton, config)
     placement.clusters_used = document["clusters_used"]
     for state_id, (cluster, pu, column) in document["placement"].items():
@@ -128,6 +134,7 @@ def load_device(text):
             )
     device.placement = placement
     device.automaton = automaton
+    device._regions = [pu.reporting for _, _, pu in device.iter_pus()]
 
     for record in document.get("dynamic", []):
         pu = device.clusters[record["cluster"]].pus[record["pu"]]

@@ -27,13 +27,19 @@ COLUMNS = [
 ]
 
 
-def define(graph, sweep, config):
-    """Declare one ``figure10_point`` task per sweep percentage."""
-    return [graph.task("figure10_point", {"pct": pct, "config": config})
+def define(graph, sweep, config, fidelity="auto"):
+    """Declare one ``figure10_point`` task per sweep percentage.
+
+    ``fidelity`` salts the stage params (device-fidelity knob) so
+    packed/literal sweeps never alias in a shared artifact store.
+    """
+    return [graph.task("figure10_point",
+                       {"pct": pct, "config": config, "fidelity": fidelity})
             for pct in sweep]
 
 
-def run(sweep=SWEEP_PCTS, config=None, workers=1, runtime=None):
+def run(sweep=SWEEP_PCTS, config=None, workers=1, runtime=None,
+        fidelity="auto"):
     """Evaluate the sweep; returns result rows.
 
     ``workers`` fans the sweep points out across a process pool
@@ -44,7 +50,7 @@ def run(sweep=SWEEP_PCTS, config=None, workers=1, runtime=None):
     if runtime is None:
         runtime = Runtime(workers=workers)
     graph = StageGraph()
-    tasks = define(graph, sweep, config)
+    tasks = define(graph, sweep, config, fidelity=fidelity)
     results = runtime.execute(graph, targets=tasks)
     return [results[task] for task in tasks]
 
@@ -59,8 +65,8 @@ def render(rows):
 
 
 @instrumented_experiment("figure10")
-def main(workers=1):
+def main(workers=1, fidelity="auto"):
     """Run and print."""
-    rows = run(workers=workers)
+    rows = run(workers=workers, fidelity=fidelity)
     print(render(rows))
     return rows

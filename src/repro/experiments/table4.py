@@ -28,6 +28,7 @@ run (or a warm ``--artifact-dir``) executes each only once; the cheap
 
 from ..core.config import SunderConfig
 from ..core.mapping import place
+from ..core.packed import resolve_fidelity
 from ..runtime import Runtime, StageGraph
 from ..runtime.stages import drain_row
 from ..runtime.artifacts import SimRun
@@ -62,15 +63,19 @@ PAPER_AVERAGES = {
 }
 
 
-def evaluate_benchmark(instance, rate=4, config=None, scale=1.0):
+def evaluate_benchmark(instance, rate=4, config=None, scale=1.0,
+                       fidelity="auto"):
     """Full Table 4 row for one workload instance.
 
     This is the direct, graph-free path for *custom* instances (the
     registry-driven suite goes through :func:`define`); both call the
     same :func:`~repro.runtime.stages.drain_row` replay.  ``scale`` is
     the workload generation scale; the AP model shrinks its fixed buffer
-    geometry by the same factor (see ApReportingModel).
+    geometry by the same factor (see ApReportingModel).  ``fidelity`` is
+    the device-fidelity knob (validated here; the replay itself runs on
+    report profiles, not a bit-level device).
     """
+    resolve_fidelity(fidelity)
     automaton = instance.automaton
     data = instance.input_bytes
 
@@ -99,8 +104,13 @@ def evaluate_benchmark(instance, rate=4, config=None, scale=1.0):
                          rate=rate, scale=scale, config=config)
 
 
-def define(graph, scale, seed, names, rate):
-    """Declare Table 4's stages; returns the per-benchmark row tasks."""
+def define(graph, scale, seed, names, rate, fidelity="auto"):
+    """Declare Table 4's stages; returns the per-benchmark row tasks.
+
+    ``fidelity`` salts the device-bearing ``place``/``report_drain``
+    stage params so packed/literal runs never alias (the knob is
+    otherwise inert here — the replays run on cached report profiles).
+    """
     rows = []
     for name in names:
         gen = graph.task("generate",
@@ -111,15 +121,20 @@ def define(graph, scale, seed, names, rate):
         sim_strided = graph.task("simulate_strided",
                                  {"name": name, "rate": rate},
                                  deps=[gen, strided])
-        placed = graph.task("place", {"name": name, "rate": rate},
+        placed = graph.task("place",
+                            {"name": name, "rate": rate,
+                             "fidelity": fidelity},
                             deps=[strided])
         rows.append(graph.task(
-            "report_drain", {"name": name, "rate": rate, "scale": scale},
+            "report_drain",
+            {"name": name, "rate": rate, "scale": scale,
+             "fidelity": fidelity},
             deps=[gen, sim8, sim_strided, placed]))
     return rows
 
 
-def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None):
+def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None,
+        fidelity="auto"):
     """Evaluate the suite; returns (rows, averages).
 
     ``workers`` fans the stage executions out across a process pool
@@ -130,7 +145,7 @@ def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None):
     if runtime is None:
         runtime = Runtime(workers=workers)
     graph = StageGraph()
-    tasks = define(graph, scale, seed, chosen, rate)
+    tasks = define(graph, scale, seed, chosen, rate, fidelity=fidelity)
     results = runtime.execute(graph, targets=tasks)
     rows = [results[task] for task in tasks]
     averages = average_row(
@@ -149,8 +164,9 @@ def render(rows, averages):
 
 
 @instrumented_experiment("table4")
-def main(scale=0.01, seed=0, names=None, workers=1):
+def main(scale=0.01, seed=0, names=None, workers=1, fidelity="auto"):
     """Run and print."""
-    rows, averages = run(scale=scale, seed=seed, names=names, workers=workers)
+    rows, averages = run(scale=scale, seed=seed, names=names, workers=workers,
+                         fidelity=fidelity)
     print(render(rows, averages))
     return rows, averages

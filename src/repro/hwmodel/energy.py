@@ -55,6 +55,8 @@ def device_energy(device):
     matching/crossbar evaluations (8T access each), Port-1 traffic is
     configuration plus reporting.
     """
+    # Packed runs defer matching-side counter updates; flush them first.
+    device.sync_dynamic_state()
     matching = 0
     interconnect = 0
     reporting = 0

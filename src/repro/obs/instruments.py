@@ -77,6 +77,20 @@ class Instruments:
         self.device_run_seconds = histogram(
             "repro_device_run_seconds",
             "Wall time of one SunderDevice.run.", buckets=SECONDS_BUCKETS)
+        self.device_kernel_step_cache_hits = counter(
+            "repro_device_kernel_step_cache_hits_total",
+            "Packed-kernel step-cache hits during SunderDevice.run.")
+        self.device_kernel_step_cache_misses = counter(
+            "repro_device_kernel_step_cache_misses_total",
+            "Packed-kernel step-cache misses during SunderDevice.run.")
+        self.device_kernel_pus_skipped = counter(
+            "repro_device_kernel_pus_skipped_total",
+            "Idle PU-cycles the packed kernel skipped (zero enable bits "
+            "and no start boundary).")
+        self.device_kernel_compile_seconds = histogram(
+            "repro_device_kernel_compile_seconds",
+            "Wall time to compile the packed device kernel.",
+            buckets=SECONDS_BUCKETS)
         self.device_configured_states = gauge(
             "repro_device_configured_states",
             "States placed on each cluster by the last configure().",

@@ -26,6 +26,7 @@ from time import perf_counter
 from ..baselines.ap import ApReportingModel
 from ..core.config import SunderConfig
 from ..core.mapping import place
+from ..core.packed import resolve_fidelity
 from ..core.perfmodel import (ReportingPerfModel, pu_fill_cycles_from_events,
                               sensitivity_slowdown)
 from ..errors import StageGraphError
@@ -220,7 +221,15 @@ def _table3_row(params, instance, *machines):
 
 @stage("place")
 def _place(params, strided):
-    """Map the strided machine onto Sunder PUs."""
+    """Map the strided machine onto Sunder PUs.
+
+    Device-bearing stages carry the device-fidelity knob in their params
+    as key-salt material: should these stages ever become cacheable,
+    packed and literal results must not alias in a shared artifact store
+    (see docs/architecture.md).  Resolving it here also fails fast on a
+    bad knob value.
+    """
+    resolve_fidelity(params.get("fidelity", "auto"))
     return place(strided, SunderConfig(rate_nibbles=params["rate"]))
 
 
@@ -281,7 +290,12 @@ def _with_fifo(config, fifo):
 
 @stage("report_drain")
 def _report_drain(params, instance, run8, strided_run, placement):
-    """Table 4 row for one benchmark (AP, AP+RAD, Sunder, Sunder+FIFO)."""
+    """Table 4 row for one benchmark (AP, AP+RAD, Sunder, Sunder+FIFO).
+
+    Carries the device-fidelity knob in its params for the same
+    key-salting reason as ``place``.
+    """
+    resolve_fidelity(params.get("fidelity", "auto"))
     return drain_row(instance, run8, strided_run, placement,
                      rate=params["rate"], scale=params["scale"])
 
@@ -296,6 +310,7 @@ def _figure9_arch(params):
 @stage("figure10_point")
 def _figure10_point(params):
     """One sensitivity-sweep point (slowdown with/without summarization)."""
+    resolve_fidelity(params.get("fidelity", "auto"))
     fraction = params["pct"] / 100.0
     config = params["config"]
     return {

@@ -1,0 +1,229 @@
+"""Packed-fidelity differential suite: packed vs literal vs the engines.
+
+The packed kernel (:mod:`repro.core.packed`) must be *bit-exact* against
+the literal bit-level device — same reports, cycles, stalls, and access
+statistics — and both must match the functional engines.  The sweeps
+here randomize the input stream and cover every rate and both drain
+strategies.
+"""
+
+import random
+
+import pytest
+
+from repro.core import (
+    FIDELITIES,
+    SunderConfig,
+    SunderDevice,
+    load_device,
+    save_device,
+)
+from repro.core.host import HostInterface
+from repro.errors import ArchitectureError
+from repro.hwmodel.energy import device_energy
+from repro.regex import compile_ruleset
+from repro.sim import BitsetEngine, NaiveEngine, stream_for
+from repro.transform import to_rate
+
+RULES = ["abc", "b.d", "xy+z", "hello", "[0-9]{3}", "q(rs|tu)v"]
+DATA_ALPHABET = b"abcdxyz hello0123qrstuv"
+
+
+def _random_data(seed, length=300):
+    rng = random.Random(seed)
+    noise = bytes(rng.choice(DATA_ALPHABET) for _ in range(length))
+    return noise + b"abc hello 123 " + noise + b"xyyzqrsv"
+
+
+def _config(rate, fifo):
+    return SunderConfig(rate_nibbles=rate, report_bits=16, fifo=fifo,
+                        fifo_drain_rows_per_cycle=0.5)
+
+
+def _run(automaton, data, config, fidelity):
+    device = SunderDevice(config, fidelity=fidelity)
+    device.configure(automaton)
+    vectors, limit = stream_for(automaton, data)
+    result = device.run(vectors, position_limit=limit)
+    return device, result, vectors, limit
+
+
+def _access_counters(device):
+    """Every matching-side subarray counter, in deterministic order."""
+    counters = []
+    for _, _, pu in device.iter_pus():
+        counters.append((pu.subarray.port1_reads, pu.subarray.port1_writes,
+                         pu.subarray.port2_reads,
+                         pu.crossbar.subarray.port2_reads))
+    for cluster in device.clusters:
+        counters.append(cluster.global_switch.crossbar.subarray.port2_reads)
+    return counters
+
+
+@pytest.mark.parametrize("fifo", [False, True])
+@pytest.mark.parametrize("rate", [1, 2, 4])
+class TestPackedVsLiteral:
+    def test_randomized_differential(self, rate, fifo):
+        machine = compile_ruleset(RULES)
+        strided = to_rate(machine, rate)
+        config = _config(rate, fifo)
+        data = _random_data(rate * 31 + fifo)
+
+        _, literal_result, vectors, limit = _run(
+            strided, data, config, "literal")
+        literal_device = literal_result.device
+        packed_device, packed_result, _, _ = _run(
+            strided, data, config, "packed")
+
+        # RunResult figures are identical.
+        assert packed_result.cycles == literal_result.cycles
+        assert packed_result.stall_cycles == literal_result.stall_cycles
+        # Report streams are identical, and non-trivial.
+        literal_keys = literal_result.reports().event_keys()
+        assert packed_result.reports().event_keys() == literal_keys
+        assert literal_keys
+        # Aggregate statistics are identical.
+        assert packed_device.statistics() == literal_device.statistics()
+        # Subarray access counters (and hence energy) are identical: the
+        # packed path derives them analytically.
+        assert _access_counters(packed_device) == \
+            _access_counters(literal_device)
+        assert repr(device_energy(packed_device)) == \
+            repr(device_energy(literal_device))
+        # Both fidelities match both functional engines.
+        for engine_cls in (BitsetEngine, NaiveEngine):
+            reference = engine_cls(strided).run(
+                vectors, position_limit=limit).event_keys()
+            assert literal_keys == reference
+
+    def test_dynamic_state_identical_after_run(self, rate, fifo):
+        machine = compile_ruleset(RULES[:4])
+        strided = to_rate(machine, rate)
+        config = _config(rate, fifo)
+        data = _random_data(rate * 17 + fifo, length=120)
+        _, literal_result, _, _ = _run(strided, data, config, "literal")
+        packed_device, _, _, _ = _run(strided, data, config, "packed")
+        for (_, _, literal_pu), (_, _, packed_pu) in zip(
+                literal_result.device.iter_pus(), packed_device.iter_pus()):
+            assert (literal_pu.enable == packed_pu.enable).all()
+            assert (literal_pu.active == packed_pu.active).all()
+
+
+class TestPackedStepAndContext:
+    def _devices(self, fifo=True):
+        strided = to_rate(compile_ruleset(RULES[:3]), 4)
+        config = _config(4, fifo)
+        devices = []
+        for fidelity in ("literal", "packed"):
+            device = SunderDevice(config, fidelity=fidelity)
+            device.configure(strided)
+            devices.append(device)
+        vectors, _ = stream_for(strided, _random_data(99, length=150))
+        return devices, vectors
+
+    def test_single_step_parity(self):
+        (literal, packed), vectors = self._devices()
+        for vector in vectors[:40]:
+            assert packed.step(vector) == literal.step(vector)
+            for (_, _, lpu), (_, _, ppu) in zip(
+                    literal.iter_pus(), packed.iter_pus()):
+                assert (lpu.active == ppu.active).all()
+            assert packed.live_report_status() == literal.live_report_status()
+
+    def test_context_switch_interleaving(self):
+        (literal, packed), vectors = self._devices()
+        half = len(vectors) // 2
+        contexts = {}
+        for device in (literal, packed):
+            device.run(vectors[:half])
+            contexts[device] = device.save_context()
+            device.reset_matching_state()
+            device.run(vectors[:20])
+            device.load_context(contexts[device])
+            device.run(vectors[half:])
+        assert (packed.report_events().event_keys()
+                == literal.report_events().event_keys())
+        assert packed.statistics() == literal.statistics()
+
+    def test_snapshot_roundtrip_mid_stream(self):
+        (literal, packed), vectors = self._devices(fifo=False)
+        half = len(vectors) // 2
+        packed.run(vectors[:half])
+        literal.run(vectors[:half])
+        restored = load_device(save_device(packed), fidelity="packed")
+        restored.run(vectors[half:])
+        literal.run(vectors[half:])
+        assert (restored.report_events().event_keys()
+                == literal.report_events().event_keys())
+
+    def test_host_store_invalidates_kernel(self):
+        (literal, packed), vectors = self._devices()
+        packed.run(vectors[:10])
+        assert packed._kernel is not None
+        host = HostInterface(packed)
+        row = packed.clusters[0].pus[0].subarray.read_row(0)
+        host.store_row(host.address_map.address_of(0, 0, 0), row)
+        assert packed._kernel is None
+        # The rewritten row was identical, so behaviour is unchanged.
+        packed.run(vectors[10:])
+        literal.run(vectors)
+        assert (packed.report_events().event_keys()
+                == literal.report_events().event_keys())
+
+
+class TestKernelMechanics:
+    def test_fidelity_knob(self):
+        assert SunderDevice(fidelity="auto").fidelity == "packed"
+        assert SunderDevice(fidelity="literal").fidelity == "literal"
+        assert "auto" in FIDELITIES
+        with pytest.raises(ArchitectureError):
+            SunderDevice(fidelity="warp")
+
+    def test_step_cache_hits_and_idle_skipping(self):
+        strided = to_rate(compile_ruleset(["abc"]), 4)
+        device = SunderDevice(_config(4, False), fidelity="packed")
+        device.configure(strided)
+        vectors, _ = stream_for(strided, b"abcd" * 100)
+        device.run(vectors)
+        info = device.step_cache_info()
+        assert info["misses"] >= 1
+        assert info["hits"] > info["misses"]  # periodic stream re-keys fast
+        assert 0.0 < info["hit_rate"] <= 1.0
+        assert info["size"] <= info["limit"]
+        # A one-cluster device still instantiates 4 PUs; the unused ones
+        # are never enabled and must be skipped.
+        assert device._kernel.pus_skipped > 0
+
+    def test_cache_disabled_still_exact(self):
+        strided = to_rate(compile_ruleset(RULES[:3]), 4)
+        config = _config(4, True)
+        data = _random_data(5, length=100)
+        vectors, limit = stream_for(strided, data)
+        uncached = SunderDevice(config, fidelity="packed", step_cache=0)
+        uncached.configure(strided)
+        literal = SunderDevice(config, fidelity="literal")
+        literal.configure(strided)
+        uncached_result = uncached.run(vectors, position_limit=limit)
+        literal_result = literal.run(vectors, position_limit=limit)
+        assert uncached.step_cache_info()["hits"] == 0
+        assert (uncached_result.reports().event_keys()
+                == literal_result.reports().event_keys())
+        assert uncached_result.stall_cycles == literal_result.stall_cycles
+
+    def test_literal_device_never_compiles(self):
+        strided = to_rate(compile_ruleset(["abc"]), 4)
+        device = SunderDevice(_config(4, False), fidelity="literal")
+        device.configure(strided)
+        vectors, _ = stream_for(strided, b"abc" * 20)
+        device.run(vectors)
+        assert device._kernel is None
+        assert device.step_cache_info()["misses"] == 0
+
+    def test_packed_rejects_bad_vectors(self):
+        strided = to_rate(compile_ruleset(["abc"]), 4)
+        device = SunderDevice(_config(4, False), fidelity="packed")
+        device.configure(strided)
+        with pytest.raises(ArchitectureError):
+            device.step((1, 2))  # wrong arity
+        with pytest.raises(ArchitectureError):
+            device.step((1, 2, 3, 16))  # nibble out of range
