@@ -54,6 +54,11 @@ DEVICE_CONFIGS = (
 #: Processing rate of the device under test (the paper's headline rate).
 RATE = 4
 
+#: ``repro bench run --quick`` overrides: the baseline's scale with one
+#: timing repeat, a shorter stream, and the cheap end of the workloads.
+QUICK_PARAMS = {"scale": 0.01, "repeats": 1, "input_bytes": 2000,
+                "workloads": ("Snort", "Hamming")}
+
 
 def _reset_dynamic_state(device):
     """Return a device to its freshly-configured dynamic state.
@@ -94,17 +99,22 @@ def bench_workload(name, scale, seed, repeats, input_bytes):
         result = device.run(vectors, position_limit=limit)
         report_keys[label] = result.reports().event_keys()
         best = math.inf
+        worst = 0.0
         for _ in range(repeats):
             _reset_dynamic_state(device)
             start = time.perf_counter()
             device.run(vectors, position_limit=limit)
-            best = min(best, time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            best = min(best, elapsed)
+            worst = max(worst, elapsed)
         kernel = device._kernel
         pu_cycles = len(vectors) * len(list(device.iter_pus())) * (repeats + 1)
         configs[label] = {
             "fidelity": device.fidelity,
             "step_cache": device.step_cache_info()["limit"],
             "cycles_per_sec": len(vectors) / best,
+            "cycles_per_sec_band": [len(vectors) / worst,
+                                    len(vectors) / best],
             "cache_hit_rate": device.step_cache_info()["hit_rate"],
             "compile_seconds": kernel.compile_seconds if kernel else 0.0,
             "pus_skipped_fraction": (
@@ -112,6 +122,8 @@ def bench_workload(name, scale, seed, repeats, input_bytes):
         }
     reports_identical = all(keys == report_keys["literal"]
                             for keys in report_keys.values())
+    cached = configs["packed_cached"]
+    literal = configs["literal"]
     return {
         "name": name,
         "states": len(strided),
@@ -120,8 +132,13 @@ def bench_workload(name, scale, seed, repeats, input_bytes):
         "reports": len(report_keys["literal"]),
         "reports_identical": reports_identical,
         "configs": configs,
-        "speedup": (configs["packed_cached"]["cycles_per_sec"]
-                    / configs["literal"]["cycles_per_sec"]),
+        "speedup": cached["cycles_per_sec"] / literal["cycles_per_sec"],
+        # Pessimistic/optimistic pairing of the repeat extremes; the
+        # regression gate treats a miss inside this band as noise.
+        "speedup_band": [
+            cached["cycles_per_sec_band"][0] / literal["cycles_per_sec_band"][1],
+            cached["cycles_per_sec_band"][1] / literal["cycles_per_sec_band"][0],
+        ],
     }
 
 
@@ -143,6 +160,18 @@ def run_suite(scale=0.01, seed=0, repeats=3, input_bytes=4000,
         "workloads": rows,
         "geomean_speedup": geomean,
     }
+
+
+def extract_metrics(payload):
+    """Scale-insensitive figures of merit for the regression gate."""
+    return {"speedup:%s" % row["name"]: row["speedup"]
+            for row in payload["workloads"]}
+
+
+def extract_bands(payload):
+    """Per-metric ``[lo, hi]`` noise bands from the repeat extremes."""
+    return {"speedup:%s" % row["name"]: row["speedup_band"]
+            for row in payload["workloads"] if "speedup_band" in row}
 
 
 def _require(condition, message):
@@ -187,6 +216,11 @@ def validate_payload(payload):
                      "%s compile_seconds" % label)
             _require(0.0 <= stats.get("pus_skipped_fraction", -1) <= 1.0,
                      "%s pus_skipped_fraction" % label)
+        # Noise bands are optional (older payloads predate them).
+        band = row.get("speedup_band")
+        if band is not None:
+            _require(isinstance(band, list) and len(band) == 2
+                     and 0 < band[0] <= band[1], "speedup_band")
     return payload
 
 

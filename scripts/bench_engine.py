@@ -49,15 +49,25 @@ KERNEL_CONFIGS = (
     ("sliced_cached", {"kernel": "sliced"}),
 )
 
+#: ``repro bench run --quick`` overrides: the baseline's scale (speedups
+#: are scale-sensitive, so the gate only compares same-scale payloads)
+#: with fewer repeats and the fast end of the workload set.
+QUICK_PARAMS = {"scale": 0.01, "repeats": 1, "workers": 2,
+                "workloads": ("Snort", "Bro217", "Hamming")}
 
-def _best_cycles_per_sec(engine, data, repeats):
+
+def _cycles_per_sec(engine, data, repeats):
+    """(best cycles/sec, [worst, best] band) over ``repeats`` runs."""
     engine.run(data)  # warm-up: fills lazy tables and the step cache
     best = math.inf
+    worst = 0.0
     for _ in range(repeats):
         start = time.perf_counter()
         engine.run(data)
-        best = min(best, time.perf_counter() - start)
-    return len(data) / best
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        worst = max(worst, elapsed)
+    return len(data) / best, [len(data) / worst, len(data) / best]
 
 
 def bench_workload(name, scale, seed, repeats):
@@ -67,19 +77,29 @@ def bench_workload(name, scale, seed, repeats):
     kernels = {}
     for label, config in KERNEL_CONFIGS:
         engine = BitsetEngine(instance.automaton, **config)
+        rate, band = _cycles_per_sec(engine, data, repeats)
         kernels[label] = {
             "kernel": engine.kernel,
             "step_cache": engine._step_cache_limit,
-            "cycles_per_sec": _best_cycles_per_sec(engine, data, repeats),
+            "cycles_per_sec": rate,
+            "cycles_per_sec_band": band,
             "cache_hit_rate": engine.step_cache_info()["hit_rate"],
         }
+    cached = kernels["sliced_cached"]
+    base = kernels["baseline"]
     return {
         "name": name,
         "states": len(instance.automaton),
         "cycles": len(data),
         "kernels": kernels,
-        "speedup": (kernels["sliced_cached"]["cycles_per_sec"]
-                    / kernels["baseline"]["cycles_per_sec"]),
+        "speedup": cached["cycles_per_sec"] / base["cycles_per_sec"],
+        # Most-pessimistic to most-optimistic pairing of the repeat
+        # extremes: the regression gate treats a miss inside this band
+        # as noise, not a regression.
+        "speedup_band": [
+            cached["cycles_per_sec_band"][0] / base["cycles_per_sec_band"][1],
+            cached["cycles_per_sec_band"][1] / base["cycles_per_sec_band"][0],
+        ],
     }
 
 
@@ -121,6 +141,27 @@ def run_suite(scale=0.01, seed=0, repeats=3, workers=4,
     }
 
 
+def extract_metrics(payload):
+    """Scale-insensitive figures of merit for the regression gate.
+
+    Per-workload kernel speedups are self-normalized within one run
+    (optimized path vs in-run baseline), so they compare meaningfully
+    across machines — unlike absolute cycles/sec.
+    """
+    return {"speedup:%s" % row["name"]: row["speedup"]
+            for row in payload["workloads"]}
+
+
+def extract_bands(payload):
+    """Per-metric ``[lo, hi]`` noise bands from the repeat extremes.
+
+    Absent from payloads recorded before bands existed; the gate treats
+    a missing band as "no noise allowance".
+    """
+    return {"speedup:%s" % row["name"]: row["speedup_band"]
+            for row in payload["workloads"] if "speedup_band" in row}
+
+
 def _require(condition, message):
     if not condition:
         raise ValueError("BENCH_engine payload invalid: %s" % message)
@@ -156,6 +197,11 @@ def validate_payload(payload):
                      "%s cycles_per_sec" % label)
             _require(0.0 <= stats.get("cache_hit_rate", -1) <= 1.0,
                      "%s cache_hit_rate" % label)
+        # Noise bands are optional (older payloads predate them).
+        band = row.get("speedup_band")
+        if band is not None:
+            _require(isinstance(band, list) and len(band) == 2
+                     and 0 < band[0] <= band[1], "speedup_band")
     harness = payload.get("harness")
     _require(isinstance(harness, dict), "harness must be an object")
     _require(harness.get("rows_identical") is True,

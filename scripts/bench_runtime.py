@@ -42,6 +42,11 @@ SCHEMA_VERSION = 1
 #: Stages a warm store must serve without a single execution.
 WARM_CACHED_STAGES = ("generate", "simulate8", "to_rate")
 
+#: ``repro bench run --quick`` overrides: the cold/warm scorecard pair
+#: is one measurement either way, so quick mode just pins the scale the
+#: committed baseline was recorded at.
+QUICK_PARAMS = {"scale": 0.01}
+
 
 def _stage_counts(registry):
     """``{stage: {"hits": n, "misses": n}}`` from one run's registry."""
@@ -100,6 +105,11 @@ def run_suite(scale=0.01, seed=0, artifact_dir=None):
         "disk_bytes": info["disk_bytes"],
         "identical": cold_text == warm_text,
     }
+
+
+def extract_metrics(payload):
+    """Scale-insensitive figures of merit for the regression gate."""
+    return {"warm_speedup": payload["warm_speedup"]}
 
 
 def _require(condition, message):

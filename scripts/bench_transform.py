@@ -48,16 +48,31 @@ MINIMAL_WORKLOADS = ("Snort", "SPM", "Brill")
 #: Duplicate-heavy unions (copies, pattern_length) — the merge regime.
 DUPLICATE_CASES = ((10, 32), (20, 64))
 
+#: ``repro bench run --quick`` overrides: the baseline's scale with half
+#: the cache-stage workloads.  Repeats stay at 3 — they only re-time
+#: cache lookups and small minimizer runs (cheap), and best-of-1
+#: minimizer timings are too noisy to gate on.
+QUICK_PARAMS = {"scale": 0.02, "workloads": ("Snort", "Bro217")}
+
 
 def _best(func, repeats):
     """(best wall seconds, last result) over ``repeats`` runs."""
+    best, _, result = _spread(func, repeats)
+    return best, result
+
+
+def _spread(func, repeats):
+    """(best, worst wall seconds, last result) over ``repeats`` runs."""
     best = math.inf
+    worst = 0.0
     result = None
     for _ in range(repeats):
         start = time.perf_counter()
         result = func()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        worst = max(worst, elapsed)
+    return best, worst, result
 
 
 def bench_cache_workload(name, scale, seed, repeats):
@@ -106,18 +121,21 @@ def _duplicate_union(copies, length):
 def bench_minimizer_machine(name, build, repeats):
     """New vs legacy minimizer on fresh copies of one machine."""
     machine = build()
-    new_seconds, removed_new = _best(
+    new_best, new_worst, removed_new = _spread(
         lambda: minimize(machine.copy()), repeats)
-    legacy_seconds, removed_legacy = _best(
+    legacy_best, legacy_worst, removed_legacy = _spread(
         lambda: minimize_legacy(machine.copy()), repeats)
     return {
         "name": name,
         "states": len(machine),
         "removed_new": removed_new,
         "removed_legacy": removed_legacy,
-        "new_seconds": new_seconds,
-        "legacy_seconds": legacy_seconds,
-        "speedup": legacy_seconds / new_seconds,
+        "new_seconds": new_best,
+        "legacy_seconds": legacy_best,
+        "speedup": legacy_best / new_best,
+        # Pessimistic/optimistic pairing of the repeat extremes; the
+        # regression gate treats a miss inside this band as noise.
+        "speedup_band": [legacy_best / new_worst, legacy_worst / new_best],
     }
 
 
@@ -160,6 +178,26 @@ def run_suite(scale=0.01, seed=0, repeats=3, workloads=DEFAULT_WORKLOADS):
     }
     transform_cache.configure()  # leave no benchmark state behind
     return payload
+
+
+def extract_metrics(payload):
+    """Scale-insensitive figures of merit for the regression gate.
+
+    Minimizer speedups (new vs legacy, measured in the same run) are the
+    stable figures; warm-cache speedups swing with filesystem noise, so
+    only their geomean is gated, not the per-stage numbers.
+    """
+    metrics = {"warm_speedup_geomean": payload["warm_speedup_geomean"]}
+    for row in payload["minimizer"]["rows"]:
+        metrics["minimizer:%s" % row["name"]] = row["speedup"]
+    return metrics
+
+
+def extract_bands(payload):
+    """Per-metric ``[lo, hi]`` noise bands from the repeat extremes."""
+    return {"minimizer:%s" % row["name"]: row["speedup_band"]
+            for row in payload["minimizer"]["rows"]
+            if "speedup_band" in row}
 
 
 def _require(condition, message):
@@ -207,6 +245,11 @@ def validate_payload(payload):
         _require(isinstance(row.get("name"), str), "minimizer row name")
         for field in ("new_seconds", "legacy_seconds", "speedup"):
             _require(row.get(field, 0) > 0, "minimizer %s" % field)
+        # Noise bands are optional (older payloads predate them).
+        band = row.get("speedup_band")
+        if band is not None:
+            _require(isinstance(band, list) and len(band) == 2
+                     and 0 < band[0] <= band[1], "minimizer speedup_band")
         _require(row.get("removed_new", -1) >= row.get("removed_legacy", 0),
                  "refinement minimizer merged less than legacy")
     return payload

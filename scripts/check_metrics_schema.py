@@ -2,15 +2,18 @@
 
 Usage:  python scripts/check_metrics_schema.py [scale]
 
-Runs ``python -m repro profile experiment table4 --metrics-out ...
---trace-out ...`` in-process, then validates
+Runs ``python -m repro profile experiment table4 --workers 2
+--metrics-out ... --trace-out ...`` in-process, then validates
 
 - the metrics JSON against the snapshot schema
   (:func:`repro.obs.validate_snapshot`), including the presence of the
-  documented core metric families, and
+  documented core metric families — worker-side families (engine,
+  transform) must survive the fleet merge, and the fleet provenance
+  counters themselves must be populated;
 - the Chrome trace file's structure, including the runtime's
   generate -> simulate -> transform -> report-drain stage spans nested
-  under the experiment span.
+  under the experiment span, and the ``parallel.map`` fan-out span the
+  worker spans are stitched under.
 
 Exits non-zero on any drift, so the exposition format is pinned in CI
 (``make profile-smoke``).
@@ -28,7 +31,9 @@ from repro.obs import validate_snapshot  # noqa: E402
 from repro.runtime import store as runtime_store  # noqa: E402
 from repro.transform import cache as transform_cache  # noqa: E402
 
-#: Metric families the profiled table4 run must populate.
+#: Metric families the profiled table4 run must populate.  The engine/
+#: transform families are recorded in pool workers under ``--workers 2``,
+#: so their presence pins the fleet capture-and-merge path.
 REQUIRED_METRICS = (
     "repro_engine_runs_total",
     "repro_engine_cycles_total",
@@ -39,10 +44,19 @@ REQUIRED_METRICS = (
     "repro_runtime_stage_seconds",
     "repro_experiment_runs_total",
     "repro_experiment_seconds",
+    "repro_parallel_jobs_total",
+    "repro_parallel_job_seconds",
+    "repro_fleet_envelopes_total",
+    "repro_fleet_merged_samples_total",
+    "repro_fleet_spans_stitched_total",
 )
-#: Stage spans that must appear, nested under the experiment span.
+#: Stage spans that must appear, nested under the experiment span.  The
+#: stage spans themselves ran in worker processes; seeing them in the
+#: parent's trace pins the stitch path.
 REQUIRED_SPANS = (
     "experiment.table4",
+    "runtime.wave",
+    "parallel.map",
     "stage.generate",
     "stage.simulate8",
     "stage.to_rate",
@@ -69,6 +83,7 @@ def check(scale="0.002"):
         trace_path = pathlib.Path(tmp) / "trace.json"
         code = repro_main([
             "profile", "experiment", "table4", "--scale", str(scale),
+            "--workers", "2",
             "--metrics-out", str(metrics_path),
             "--trace-out", str(trace_path),
         ])
@@ -100,6 +115,10 @@ def check(scale="0.002"):
         missing_spans = [n for n in REQUIRED_SPANS if n not in by_name]
         if missing_spans:
             return fail("trace lacks stage spans: %s" % missing_spans)
+        tracks = {event["tid"] for event in events}
+        if len(tracks) < 2:
+            return fail("stitched trace renders a single track; expected "
+                        "per-worker tracks under parallel.map")
         experiment_depth = by_name["experiment.table4"]["args"]["depth"]
         for stage in ("stage.generate", "stage.simulate8",
                       "stage.to_rate", "stage.report_drain"):

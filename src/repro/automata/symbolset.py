@@ -61,6 +61,12 @@ class SymbolSet:
     def __setattr__(self, name, value):
         raise AttributeError("SymbolSet is immutable")
 
+    def __reduce__(self):
+        # Pickle through the constructor: the default slots-state protocol
+        # restores attributes with setattr, which immutability blocks —
+        # and stage-graph jobs carry symbol sets across process pools.
+        return (SymbolSet, (self.bits, self.mask))
+
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------

@@ -63,3 +63,7 @@ class ArtifactError(ReproError):
 
 class StageGraphError(ReproError):
     """A stage graph was constructed or executed inconsistently."""
+
+
+class BenchError(ReproError):
+    """A benchmark envelope or baseline could not be run or compared."""

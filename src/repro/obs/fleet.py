@@ -1,0 +1,145 @@
+"""Fleet telemetry: cross-process metric aggregation + trace stitching.
+
+The in-process collector (:mod:`repro.obs`) only sees what runs in its
+own process; :class:`~repro.sim.parallel.ParallelRunner` fans jobs out
+to pool workers, which historically ran *blind* — worker-side engine,
+device, and transform metrics were simply dropped.  This module closes
+that gap:
+
+- **Capture** — :func:`run_observed_job` wraps one job in the worker:
+  it attaches a fresh registry (and, when the parent traces, a fresh
+  :class:`~repro.obs.spans.TraceCollector`), runs the job, and ships
+  the telemetry back inside a versioned :func:`envelope
+  <build_envelope>` alongside the job's result.
+- **Merge** — :func:`merge_envelopes` folds the envelopes back into the
+  parent's attached collector **in job order**, which makes the merge
+  deterministic: counters sum, histograms merge bucket-wise
+  (:meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`), gauges
+  take the last writer in job order.  Worker provenance is preserved in
+  the ``repro_fleet_envelopes_total{worker}`` counter.
+- **Stitch** — worker spans carry the trace context injected at
+  ``parallel.map`` fan-out (:func:`observed_jobs`), so
+  :meth:`~repro.obs.spans.TraceCollector.graft` re-parents them under
+  the live ``parallel.map`` span with one track per worker process —
+  a ``--workers 8`` profile renders as a single coherent timeline.
+
+A ``--workers N`` profiled run therefore emits **one** metrics snapshot
+whose engine/device/transform counters equal the serial run's totals,
+and **one** trace file with per-worker tracks nested under the fan-out
+span (pinned by ``tests/test_fleet.py``).
+"""
+
+import os
+from time import perf_counter
+
+from ..errors import ObservabilityError
+from . import OBS, attach, detach
+from .metrics import MetricsRegistry
+from .spans import TraceCollector
+
+#: Schema identifier written into (and required from) every envelope.
+ENVELOPE_SCHEMA = "repro-fleet"
+ENVELOPE_VERSION = 1
+
+
+def build_envelope(registry, trace=None, worker=None, context=None):
+    """Package one worker's telemetry into a picklable envelope dict."""
+    return {
+        "schema": ENVELOPE_SCHEMA,
+        "version": ENVELOPE_VERSION,
+        "worker": worker if worker is not None else os.getpid(),
+        "context": context,
+        "metrics": registry.snapshot(),
+        "spans": ([span.as_dict() for span in trace.finished()]
+                  if trace is not None else []),
+    }
+
+
+def validate_envelope(envelope):
+    """Check an envelope's wrapper fields; raises ObservabilityError.
+
+    Returns the envelope unchanged so callers can chain.
+    """
+    if not isinstance(envelope, dict):
+        raise ObservabilityError(
+            "fleet envelope must be a dict, got %r"
+            % type(envelope).__name__)
+    if envelope.get("schema") != ENVELOPE_SCHEMA:
+        raise ObservabilityError(
+            "fleet envelope schema %r != %r"
+            % (envelope.get("schema"), ENVELOPE_SCHEMA))
+    if envelope.get("version") != ENVELOPE_VERSION:
+        raise ObservabilityError(
+            "fleet envelope version %r != %d"
+            % (envelope.get("version"), ENVELOPE_VERSION))
+    if not isinstance(envelope.get("metrics"), dict):
+        raise ObservabilityError("fleet envelope lacks a metrics snapshot")
+    if not isinstance(envelope.get("spans"), list):
+        raise ObservabilityError("fleet envelope lacks a spans list")
+    return envelope
+
+
+def observed_jobs(func, jobs, context=None, capture_spans=True):
+    """Wrap ``jobs`` for :func:`run_observed_job` pool dispatch.
+
+    ``context`` is the fan-out span's propagated trace context
+    (:attr:`_ActiveSpan.context`); every worker job carries it so its
+    spans can be stitched back under the right parent.
+    """
+    return [(func, job, context, capture_spans) for job in jobs]
+
+
+def run_observed_job(payload):
+    """Execute one wrapped job in a pool worker, capturing telemetry.
+
+    Module-level so the process pool can pickle it.  Attaches a fresh
+    registry/trace around the job, so each envelope covers exactly one
+    job and the parent can merge envelopes in deterministic job order.
+    Returns ``(result, envelope)``; the envelope is None when a
+    collector is already attached in this process (nested fan-out —
+    the outer capture already covers it).
+    """
+    func, job, context, capture_spans = payload
+    if OBS.active:
+        return func(job), None
+    registry = MetricsRegistry()
+    trace = TraceCollector() if capture_spans else None
+    attach(registry=registry, trace=trace)
+    try:
+        start = perf_counter()
+        result = func(job)
+        OBS.instruments.parallel_job_seconds.labels(mode="process").observe(
+            perf_counter() - start)
+    finally:
+        detach()
+    return result, build_envelope(registry, trace, context=context)
+
+
+def merge_envelopes(envelopes):
+    """Fold worker envelopes into the attached parent collector.
+
+    Envelopes are merged in the given (job) order — the determinism
+    contract callers rely on.  ``None`` entries (jobs that ran without
+    capture) are skipped.  Returns the number of envelopes merged; a
+    no-op when no collector is attached.
+    """
+    if not OBS.active:
+        return 0
+    registry = OBS.registry
+    trace = OBS.trace
+    instruments = OBS.instruments
+    merged = 0
+    for envelope in envelopes:
+        if envelope is None:
+            continue
+        validate_envelope(envelope)
+        samples = registry.merge_snapshot(envelope["metrics"])
+        instruments.fleet_merged_samples.inc(samples)
+        instruments.fleet_envelopes.labels(worker=envelope["worker"]).inc()
+        if trace is not None and envelope["spans"]:
+            stitched = trace.graft(envelope["spans"],
+                                   context=envelope.get("context"),
+                                   thread_id=envelope["worker"])
+            instruments.fleet_spans_stitched.inc(stitched)
+        merged += 1
+    return merged

@@ -57,6 +57,23 @@ class Instruments:
         self.parallel_workers = gauge(
             "repro_parallel_workers",
             "Worker-process count used by the last ParallelRunner.map.")
+        self.parallel_job_seconds = histogram(
+            "repro_parallel_job_seconds",
+            "Wall time of one ParallelRunner job (measured where it ran, "
+            "so pool imbalance is visible, not just job counts).",
+            ("mode",), buckets=SECONDS_BUCKETS)
+
+        # --- fleet telemetry merge (repro.obs.fleet) ------------------
+        self.fleet_envelopes = counter(
+            "repro_fleet_envelopes_total",
+            "Worker telemetry envelopes merged into the parent registry.",
+            ("worker",))
+        self.fleet_merged_samples = counter(
+            "repro_fleet_merged_samples_total",
+            "Metric samples folded in from worker envelopes.")
+        self.fleet_spans_stitched = counter(
+            "repro_fleet_spans_stitched_total",
+            "Worker spans grafted into the parent trace.")
 
         # --- Sunder device (repro.core.device) ------------------------
         self.device_reconfigurations = counter(

@@ -23,7 +23,7 @@ each shared stage once even when several experiments declare it.
 """
 
 from ..errors import StageGraphError
-from ..obs import OBS
+from ..obs import OBS, trace_span
 from ..sim.parallel import ParallelRunner
 from .stages import _execute_stage_job, canonical, get_stage
 from .store import artifact_key, get_store
@@ -155,7 +155,14 @@ class Runtime:
             pending = [task for task in pending if task.depth != depth]
             jobs = [(task.stage.name, task.params,
                      [results[dep] for dep in task.deps]) for task in wave]
-            outcomes = runner.map(_execute_stage_job, jobs)
+            # One span per dependency wave: under --workers the per-stage
+            # spans live in worker processes and are stitched back beneath
+            # this wave's parallel.map span, so stage-level time
+            # attribution in the merged timeline stays correct.
+            stages = ",".join(sorted({task.stage.name for task in wave}))
+            with trace_span("runtime.wave", depth=depth, tasks=len(wave),
+                            stages=stages):
+                outcomes = runner.map(_execute_stage_job, jobs)
             for task, (value, seconds) in zip(wave, outcomes):
                 if task.key is not None:
                     self.store.put(task.key, value, task.stage.codec,

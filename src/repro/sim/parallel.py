@@ -16,20 +16,25 @@ pool while keeping the contract the tables rely on:
   an in-process loop with identical results.
 
 Telemetry: when a collector is attached in the *parent* process the
-runner records ``repro_parallel_jobs_total{mode=serial|process}`` and
-``repro_parallel_workers``.  Child processes start with no collector
-attached, so engine metrics from worker-side runs are not aggregated
-into the parent registry — profile with ``workers=1`` when per-engine
-metrics matter (see docs/performance.md).
+runner records ``repro_parallel_jobs_total{mode=serial|process}``,
+``repro_parallel_job_seconds{mode}`` (per-job wall time, so pool
+imbalance is visible), and ``repro_parallel_workers``.  On the pool
+path each job additionally runs under :mod:`repro.obs.fleet` capture:
+workers snapshot their own registry and span buffer per job and ship
+them back in result envelopes, which the parent merges in job order —
+so a ``--workers N`` profile aggregates worker-side engine/device/
+transform metrics and stitches worker spans under the ``parallel.map``
+span (see docs/observability.md for the merge semantics).
 """
 
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
 
 from ..errors import SimulationError
-from ..obs import OBS, trace_span
+from ..obs import OBS, fleet, trace_span
 
 #: Errors that mean "the pool cannot run this", not "the job failed".
 _FALLBACK_ERRORS = (pickle.PicklingError, AttributeError, TypeError,
@@ -46,11 +51,17 @@ def _initialize_worker(cache_directory, artifact_directory=None):
     stage-graph artifact store at the parent's directories so workers
     share compiled automata and stage artifacts through the disk tiers
     instead of recomputing per process."""
+    from ..obs import OBS, detach
     from ..runtime.store import configure as configure_store
     from ..transform.cache import configure
 
     configure(directory=cache_directory)
     configure_store(directory=artifact_directory)
+    # Under fork the child inherits the parent's attached collector; a
+    # worker recording into that forked copy would lose every sample, so
+    # start blind and let fleet capture attach per job.
+    if OBS.active:
+        detach()
 
 
 class ParallelRunner:
@@ -94,22 +105,48 @@ class ParallelRunner:
             cache_directory = get_cache().directory
             artifact_directory = get_store().directory
             with trace_span("parallel.map", workers=pool_workers,
-                            jobs=len(jobs)):
+                            jobs=len(jobs)) as span:
+                capture = OBS.active
                 try:
                     with ProcessPoolExecutor(
                             max_workers=pool_workers,
                             initializer=_initialize_worker,
                             initargs=(cache_directory,
                                       artifact_directory)) as pool:
-                        results = list(pool.map(func, jobs,
-                                                chunksize=self.chunksize))
+                        if capture:
+                            payloads = fleet.observed_jobs(
+                                func, jobs, context=span.context,
+                                capture_spans=OBS.trace is not None)
+                            outcomes = list(pool.map(
+                                fleet.run_observed_job, payloads,
+                                chunksize=self.chunksize))
+                            results = [result for result, _ in outcomes]
+                            fleet.merge_envelopes(
+                                envelope for _, envelope in outcomes)
+                        else:
+                            results = list(pool.map(
+                                func, jobs, chunksize=self.chunksize))
                     mode = "process"
                 except _FALLBACK_ERRORS:
                     results = None  # degrade to the serial path below
         if results is None:
             with trace_span("parallel.map", workers=1, jobs=len(jobs)):
-                results = [func(job) for job in jobs]
+                results = self._run_serial(func, jobs)
         self._record(mode, len(jobs), pool_workers if mode == "process" else 1)
+        return results
+
+    @staticmethod
+    def _run_serial(func, jobs):
+        """In-process loop; times each job when a collector is attached."""
+        if not OBS.active:
+            return [func(job) for job in jobs]
+        observe = OBS.instruments.parallel_job_seconds.labels(
+            mode="serial").observe
+        results = []
+        for job in jobs:
+            start = perf_counter()
+            results.append(func(job))
+            observe(perf_counter() - start)
         return results
 
     @staticmethod

@@ -1,0 +1,321 @@
+"""Fleet telemetry: snapshot merge, span stitching, pool determinism."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.errors import ObservabilityError
+from repro.obs import fleet
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import TraceCollector
+from repro.sim.parallel import ParallelRunner
+
+
+def _telemetry_job(job):
+    """Module-level (picklable) job that records metrics and spans."""
+    instruments = obs.OBS.instruments
+    instruments.engine_runs.labels(engine="fleet-test").inc()
+    instruments.engine_cycles.labels(engine="fleet-test").inc(job)
+    instruments.engine_active_states.labels(engine="fleet-test").observe(job)
+    with obs.trace_span("fleettest.outer", job=job):
+        with obs.trace_span("fleettest.inner"):
+            pass
+    return job * 2
+
+
+class TestMergeSnapshot:
+    def test_counters_sum_across_merges(self):
+        source = MetricsRegistry()
+        source.counter("jobs_total", labelnames=("kind",)).labels(
+            kind="a").inc(3)
+        target = MetricsRegistry()
+        target.counter("jobs_total", labelnames=("kind",)).labels(
+            kind="a").inc(1)
+        assert target.merge_snapshot(source.snapshot()) == 1
+        assert target.merge_snapshot(source.snapshot()) == 1
+        assert target.get("jobs_total").labels(kind="a").value == 7
+
+    def test_disjoint_label_sets_union(self):
+        source = MetricsRegistry()
+        source.counter("jobs_total", labelnames=("kind",)).labels(
+            kind="b").inc(2)
+        target = MetricsRegistry()
+        target.counter("jobs_total", labelnames=("kind",)).labels(
+            kind="a").inc(1)
+        target.merge_snapshot(source.snapshot())
+        metric = target.get("jobs_total")
+        assert metric.labels(kind="a").value == 1
+        assert metric.labels(kind="b").value == 2
+
+    def test_gauge_takes_last_writer_in_merge_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.gauge("level").set(5)
+        second.gauge("level").set(9)
+        target = MetricsRegistry()
+        target.merge_snapshot(first.snapshot())
+        target.merge_snapshot(second.snapshot())
+        assert target.get("level").value == 9
+
+    def test_histogram_merges_bucket_wise(self):
+        source = MetricsRegistry()
+        histogram = source.histogram("h", buckets=(1, 2, 4))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            histogram.observe(value)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1, 2, 4)).observe(3.0)
+        target.merge_snapshot(source.snapshot())
+        merged = target.get("h")
+        assert merged.count == 5
+        assert merged.sum == pytest.approx(17.0)
+        assert merged.bucket_counts() == [1, 2, 4, 5]
+        # Merging again doubles the contribution (per-bucket increments,
+        # not cumulative counts, are folded in).
+        target.merge_snapshot(source.snapshot())
+        assert target.get("h").bucket_counts() == [2, 4, 7, 9]
+
+    def test_histogram_bound_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.histogram("h", buckets=(1, 2)).observe(1)
+        target = MetricsRegistry()
+        target.histogram("h", buckets=(1, 2, 4)).observe(1)
+        with pytest.raises(ObservabilityError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_kind_mismatch_raises(self):
+        source = MetricsRegistry()
+        source.counter("x").inc()
+        target = MetricsRegistry()
+        target.gauge("x").set(1)
+        with pytest.raises(ObservabilityError):
+            target.merge_snapshot(source.snapshot())
+
+    def test_missing_metrics_created_with_shape(self):
+        source = MetricsRegistry()
+        source.counter("c", help="help!", labelnames=("k",)).labels(
+            k="v").inc(2)
+        source.histogram("h", buckets=(1, 8)).observe(3)
+        target = MetricsRegistry()
+        assert target.merge_snapshot(source.snapshot()) == 2
+        assert target.get("c").labelnames == ("k",)
+        assert target.get("c").help == "help!"
+        assert target.get("h").buckets == (1.0, 8.0)
+        assert target.get("h").count == 1
+
+    def test_empty_snapshot_and_sampleless_metrics_are_noops(self):
+        source = MetricsRegistry()
+        source.counter("unused", labelnames=("k",))  # parent, no children
+        target = MetricsRegistry()
+        assert target.merge_snapshot(source.snapshot()) == 0
+        assert target.merge_snapshot({"version": 1, "metrics": []}) == 0
+        assert "unused" not in target
+
+
+class TestEnvelope:
+    def test_build_and_validate_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        trace = TraceCollector()
+        with trace.span("s"):
+            pass
+        envelope = fleet.build_envelope(registry, trace, context={"span": 0})
+        assert fleet.validate_envelope(envelope) is envelope
+        assert envelope["worker"] == os.getpid()
+        assert envelope["context"] == {"span": 0}
+        assert len(envelope["spans"]) == 1
+
+    def test_validate_rejects_drift(self):
+        registry = MetricsRegistry()
+        good = fleet.build_envelope(registry)
+        for mutation in (
+            {"schema": "other"},
+            {"version": 99},
+            {"metrics": None},
+            {"spans": None},
+        ):
+            with pytest.raises(ObservabilityError):
+                fleet.validate_envelope(dict(good, **mutation))
+        with pytest.raises(ObservabilityError):
+            fleet.validate_envelope("not a dict")
+
+
+class TestGraft:
+    def _worker_records(self):
+        trace = TraceCollector()
+        with trace.span("outer", k=1):
+            with trace.span("inner"):
+                pass
+        return [span.as_dict() for span in trace.finished()]
+
+    def test_graft_reparents_under_context(self):
+        parent = TraceCollector()
+        with parent.span("parallel.map") as active:
+            context = active.context
+        assert parent.graft(self._worker_records(), context=context,
+                            thread_id=4242) == 2
+        spans = {span.name: span for span in parent.finished()}
+        fanout = spans["parallel.map"]
+        assert spans["outer"].parent == fanout.index
+        assert spans["outer"].depth == fanout.depth + 1
+        assert spans["inner"].parent == spans["outer"].index
+        assert spans["inner"].depth == fanout.depth + 2
+        assert spans["outer"].thread_id == 4242
+        assert spans["outer"].attrs == {"k": 1}
+
+    def test_graft_without_context_lands_at_top_level(self):
+        parent = TraceCollector()
+        assert parent.graft(self._worker_records()) == 2
+        spans = {span.name: span for span in parent.finished()}
+        assert spans["outer"].parent is None
+        assert spans["outer"].depth == 0
+
+    def test_graft_skips_unfinished_records(self):
+        records = self._worker_records()
+        records[0]["duration"] = None
+        parent = TraceCollector()
+        # The finished child of the unfinished root falls back to the
+        # graft base instead of a dangling parent link.
+        assert parent.graft(records) == 1
+        (span,) = parent.finished()
+        assert span.parent is None
+
+    def test_current_context_tracks_innermost_open_span(self):
+        trace = TraceCollector()
+        assert trace.current_context() is None
+        with trace.span("a"):
+            with trace.span("b"):
+                context = trace.current_context()
+                assert context["name"] == "b"
+                assert context["depth"] == 1
+
+
+class TestRunObservedJob:
+    def test_detached_process_captures_an_envelope(self):
+        assert not obs.OBS.active
+        payload = (_telemetry_job, 3, {"span": 7, "name": "parallel.map",
+                                       "depth": 0}, True)
+        result, envelope = fleet.run_observed_job(payload)
+        assert result == 6
+        assert not obs.OBS.active  # detached again afterwards
+        fleet.validate_envelope(envelope)
+        names = {entry["name"] for entry in envelope["metrics"]["metrics"]
+                 if entry["samples"]}
+        assert "repro_engine_cycles_total" in names
+        assert "repro_parallel_job_seconds" in names
+        assert [span["name"] for span in envelope["spans"]] == [
+            "fleettest.outer", "fleettest.inner"]
+        assert envelope["context"]["span"] == 7
+
+    def test_capture_spans_false_ships_no_spans(self):
+        _, envelope = fleet.run_observed_job((_telemetry_job, 1, None, False))
+        assert envelope["spans"] == []
+
+    def test_attached_process_defers_to_outer_capture(self):
+        registry = MetricsRegistry()
+        with obs.collecting(registry=registry):
+            result, envelope = fleet.run_observed_job(
+                (_telemetry_job, 2, None, True))
+        assert result == 4
+        assert envelope is None
+        assert registry.get(
+            "repro_engine_runs_total").labels(engine="fleet-test").value == 1
+
+
+class TestMergeEnvelopes:
+    def test_noop_when_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        envelope = fleet.build_envelope(registry)
+        assert fleet.merge_envelopes([envelope]) == 0
+
+    def test_merges_in_order_with_provenance(self):
+        envelopes = []
+        for worker, value in ((101, 2), (202, 5)):
+            registry = MetricsRegistry()
+            registry.counter("repro_engine_cycles_total",
+                             labelnames=("engine",)).labels(
+                engine="fleet-test").inc(value)
+            envelopes.append(fleet.build_envelope(registry, worker=worker))
+        parent = MetricsRegistry()
+        with obs.collecting(registry=parent):
+            assert fleet.merge_envelopes(envelopes + [None]) == 2
+        assert parent.get("repro_engine_cycles_total").labels(
+            engine="fleet-test").value == 7
+        provenance = parent.get("repro_fleet_envelopes_total")
+        assert provenance.labels(worker="101").value == 1
+        assert provenance.labels(worker="202").value == 1
+        assert parent.get("repro_fleet_merged_samples_total").value == 2
+
+
+def _span_shape(trace):
+    """Structure of a trace modulo timestamps, thread ids, and the
+    fan-out span's worker-count attribute."""
+    spans = [span for span in trace.finished()
+             if span.name != "parallel.map"]
+    by_index = {span.index: span for span in trace.finished()}
+    return [
+        (span.name, span.depth, span.attrs,
+         by_index[span.parent].name if span.parent is not None else None)
+        for span in spans
+    ]
+
+
+class TestPoolDeterminism:
+    JOBS = [3, 1, 4, 1, 5, 9, 2, 6]
+
+    def _run(self, workers):
+        registry = MetricsRegistry()
+        trace = TraceCollector()
+        with obs.collecting(registry=registry, trace=trace):
+            results = ParallelRunner(workers).map(_telemetry_job, self.JOBS)
+        return results, registry, trace
+
+    def test_merged_counters_equal_serial_totals(self):
+        serial_results, serial_registry, _ = self._run(1)
+        pool_results, pool_registry, _ = self._run(4)
+        assert pool_results == serial_results == [j * 2 for j in self.JOBS]
+        for name in ("repro_engine_runs_total", "repro_engine_cycles_total"):
+            serial = serial_registry.get(name).labels(engine="fleet-test")
+            pooled = pool_registry.get(name).labels(engine="fleet-test")
+            assert pooled.value == serial.value
+
+    def test_merged_histograms_equal_serial_buckets(self):
+        _, serial_registry, _ = self._run(1)
+        _, pool_registry, _ = self._run(4)
+        serial = serial_registry.get(
+            "repro_engine_active_states").labels(engine="fleet-test")
+        pooled = pool_registry.get(
+            "repro_engine_active_states").labels(engine="fleet-test")
+        assert pooled.bucket_counts() == serial.bucket_counts()
+        assert pooled.count == serial.count
+        assert pooled.sum == pytest.approx(serial.sum)
+
+    def test_stitched_span_tree_matches_serial_shape(self):
+        _, _, serial_trace = self._run(1)
+        _, pool_registry, pool_trace = self._run(4)
+        assert _span_shape(pool_trace) == _span_shape(serial_trace)
+        # Worker spans hang off the live parallel.map span ...
+        spans = pool_trace.finished()
+        fanout = [span for span in spans if span.name == "parallel.map"]
+        assert len(fanout) == 1
+        outer = [span for span in spans if span.name == "fleettest.outer"]
+        assert {span.parent for span in outer} == {fanout[0].index}
+        # ... on one track per worker process, none on the parent thread.
+        assert all(span.thread_id != fanout[0].thread_id for span in outer)
+        stitched = pool_registry.get("repro_fleet_spans_stitched_total")
+        assert stitched.value == len(self.JOBS) * 2
+
+    def test_pool_without_trace_still_merges_metrics(self):
+        registry = MetricsRegistry()
+        with obs.collecting(registry=registry):
+            ParallelRunner(4).map(_telemetry_job, self.JOBS)
+        assert registry.get("repro_engine_cycles_total").labels(
+            engine="fleet-test").value == sum(self.JOBS)
+
+    def test_per_job_seconds_recorded_in_both_modes(self):
+        _, serial_registry, _ = self._run(1)
+        _, pool_registry, _ = self._run(4)
+        serial = serial_registry.get("repro_parallel_job_seconds")
+        pooled = pool_registry.get("repro_parallel_job_seconds")
+        assert serial.labels(mode="serial").count == len(self.JOBS)
+        assert pooled.labels(mode="process").count == len(self.JOBS)
