@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-check repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-check repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -27,6 +27,11 @@ bench-runtime:
 # a fixed small scale because the literal path bounds feasible sizes.
 bench-device:
 	$(PYTHON) scripts/bench_device.py --scale 0.01 --out BENCH_device.json
+
+# Batched/sharded execution throughput; fixed scale for the same reason
+# (speedups are scale-sensitive and gate against the committed baseline).
+bench-batch:
+	$(PYTHON) scripts/bench_batch.py --scale 0.01 --out BENCH_batch.json
 
 # Perf-regression gate: quick fresh runs of every suite with a committed
 # BENCH_*.json baseline, nonzero exit when speedups regress.

@@ -1,0 +1,60 @@
+"""Tier-2 smoke: the batch/shard benchmark payload validates its schema.
+
+Mirrors ``make bench-batch`` at a tiny scale so drift in the
+``BENCH_batch.json`` trajectory format fails fast, and pins the
+headline acceptance figure on the committed baseline: at least one
+workload reaches 3x streams/sec at batch 16 vs the serial anchor.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_batch  # noqa: E402
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+
+
+def test_bench_batch_payload_schema(bench_scale, tmp_path):
+    out = tmp_path / "BENCH_batch.json"
+    code = bench_batch.main([
+        "--scale", str(min(bench_scale, 0.003)),
+        "--repeats", "1",
+        "--lanes", "16",
+        "--workloads", "Snort", "Hamming",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_batch.validate_payload(payload)
+    assert [row["name"] for row in payload["workloads"]] == [
+        "Snort", "Hamming"]
+    metrics = bench_batch.extract_metrics(payload)
+    bands = bench_batch.extract_bands(payload)
+    assert set(bands) == set(metrics)
+    assert "engine_batch16:Snort" in metrics
+    assert "device_batch16:Snort" in metrics
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_batch.validate_payload({"schema": "something-else"})
+    payload = bench_batch.run_suite(scale=0.002, repeats=1, lanes=8,
+                                    workloads=("Hamming",))
+    bench_batch.validate_payload(payload)
+    broken = json.loads(json.dumps(payload))
+    del broken["workloads"][0]["engine_batches"]["16"]
+    with pytest.raises(ValueError):
+        bench_batch.validate_payload(broken)
+
+
+def test_committed_baseline_meets_acceptance():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    bench_batch.validate_payload(payload)
+    # The headline claim: batching pays >= 3x on at least one workload.
+    assert payload["best_engine_batch16_speedup"] >= 3.0
+    assert payload["best_device_batch16_speedup"] >= 3.0

@@ -1,0 +1,338 @@
+"""Batched/sharded execution suite -> ``BENCH_batch.json`` trajectory.
+
+Usage:  python scripts/bench_batch.py [--scale S] [--repeats N]
+                                      [--lanes L] [--out PATH]
+
+For each calibrated workload the input stream is cut into ``lanes``
+equal chunks (independent streams) and the suite measures aggregate
+**streams/sec** at batch sizes 1/4/16/64:
+
+- ``engine``  — batch 1 is today's serial path (a fresh
+  :class:`~repro.sim.BitsetEngine` per stream); batch k drives groups
+  of k lanes through one engine's ``run_batch`` (one compiled automaton
+  + one shared step cache per group);
+- ``device``  — batch 1 is ``SunderDevice.run`` per stream on one
+  configured packed device (reports decoded once at the end); batch k
+  uses ``run_batch``, which skips the per-cycle reporting-region model
+  entirely.
+
+It also measures single-stream sharding: ``run_sharded`` at K shards
+through a K-worker :class:`~repro.sim.parallel.ParallelRunner` against
+the serial single-pass time (workloads whose automaton is cyclic have
+no depth bound and are skipped — the engine falls back to serial).
+
+The payload schema below is pinned by ``validate_payload`` and the
+tier-2 smoke ``benchmarks/test_bench_batch.py``; the committed
+``BENCH_batch.json`` feeds the ``repro bench`` regression gate.
+
+Run via ``make bench-batch``.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import SunderConfig, SunderDevice  # noqa: E402
+from repro.sim import BitsetEngine, stream_for  # noqa: E402
+from repro.sim.parallel import ParallelRunner  # noqa: E402
+from repro.transform import to_rate  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+#: Schema identifier written into (and required from) every payload.
+SCHEMA = "repro-bench-batch"
+SCHEMA_VERSION = 1
+
+#: Default workload subset: report-heavy, state-dense, and sparse ends.
+DEFAULT_WORKLOADS = ("Snort", "Bro217", "Hamming")
+
+#: Batch sizes swept for both kernels (1 = the serial anchor).
+BATCH_SIZES = (1, 4, 16, 64)
+
+#: Shard counts swept through the worker pool.
+SHARD_COUNTS = (2, 4)
+
+#: Processing rate of the device under test (the paper's headline rate).
+RATE = 4
+
+#: ``repro bench run --quick`` overrides: the baseline's scale (speedups
+#: are scale-sensitive) with one repeat and one workload.
+QUICK_PARAMS = {"scale": 0.01, "repeats": 1, "workloads": ("Snort",)}
+
+
+def _chunk(values, count):
+    """``values`` cut into ``count`` equal chunks (in order)."""
+    size = len(values) // count
+    return [values[index * size:(index + 1) * size] for index in range(count)]
+
+
+def _grouped(items, group):
+    return [items[index:index + group] for index in range(0, len(items), group)]
+
+
+def _best_and_band(measure, repeats):
+    """(best value, [worst, best] band) over ``repeats`` calls."""
+    best = 0.0
+    worst = math.inf
+    for _ in range(repeats):
+        value = measure()
+        best = max(best, value)
+        worst = min(worst, value)
+    return best, [worst, best]
+
+
+def _engine_streams_per_sec(automaton, lane_streams, batch):
+    """Aggregate streams/sec processing every lane in groups of ``batch``.
+
+    Engine construction is inside the timed region on purpose: the
+    batched path's pitch is one compiled automaton serving k streams,
+    so the serial anchor pays that setup once per stream.
+    """
+    start = time.perf_counter()
+    for group in _grouped(lane_streams, batch):
+        engine = BitsetEngine(automaton)
+        if batch == 1:
+            engine.run(group[0])
+        else:
+            engine.run_batch(group)
+    return len(lane_streams) / (time.perf_counter() - start)
+
+
+def _device_streams_per_sec(device, lane_streams, batch):
+    """Aggregate streams/sec through one configured packed device."""
+    start = time.perf_counter()
+    if batch == 1:
+        for vectors in lane_streams:
+            device.run(vectors)
+            device.reset_matching_state()
+        device.report_events()  # decode once; run_batch decodes inline
+    else:
+        for group in _grouped(lane_streams, batch):
+            device.run_batch(group)
+    return len(lane_streams) / (time.perf_counter() - start)
+
+
+def _shard_seconds(automaton, vectors, shards, workers):
+    """Wall seconds for one sharded pass (serial when shards == 1)."""
+    engine = BitsetEngine(automaton)
+    runner = ParallelRunner(workers=workers) if workers > 1 else None
+    start = time.perf_counter()
+    if shards == 1:
+        engine.run(vectors)
+    else:
+        engine.run_sharded(vectors, shards, runner=runner)
+    return time.perf_counter() - start
+
+
+def bench_workload(name, scale, seed, repeats, lanes):
+    """Batch-throughput and shard-speedup figures for one workload."""
+    instance = generate(name, scale=scale, seed=seed)
+    automaton = instance.automaton
+    data = instance.input_bytes
+    lane_bytes = _chunk(data, lanes)
+    engine_lanes = [list(chunk) for chunk in lane_bytes]
+
+    strided = to_rate(automaton, RATE)
+    config = SunderConfig(rate_nibbles=RATE, report_bits=32)
+    device_lanes = [stream_for(strided, chunk)[0] for chunk in lane_bytes]
+
+    engine_batches = {}
+    for batch in BATCH_SIZES:
+        size = min(batch, lanes)
+        rate, band = _best_and_band(
+            lambda s=size: _engine_streams_per_sec(automaton,
+                                                   engine_lanes, s),
+            repeats)
+        engine_batches[str(batch)] = {"streams_per_sec": rate,
+                                      "band": band}
+
+    device = SunderDevice(config, fidelity="packed")
+    device.configure(strided)
+    device_batches = {}
+    for batch in BATCH_SIZES:
+        size = min(batch, lanes)
+        rate, band = _best_and_band(
+            lambda s=size: _device_streams_per_sec(device, device_lanes, s),
+            repeats)
+        device_batches[str(batch)] = {"streams_per_sec": rate,
+                                      "band": band}
+
+    depth = automaton.depth_bound()
+    shard = {}
+    if depth is not None:
+        stream = list(data)
+        serial_best, serial_band = _best_and_band(
+            lambda: 1.0 / _shard_seconds(automaton, stream, 1, 1), repeats)
+        for shards in SHARD_COUNTS:
+            best, band = _best_and_band(
+                lambda k=shards: 1.0 / _shard_seconds(automaton, stream,
+                                                      k, k),
+                repeats)
+            shard[str(shards)] = {
+                "speedup": best / serial_best,
+                "band": [band[0] / serial_band[1],
+                         band[1] / serial_band[0]],
+            }
+
+    def ratio(batches, batch):
+        anchor = batches["1"]
+        entry = batches[str(batch)]
+        return {
+            "speedup": entry["streams_per_sec"] / anchor["streams_per_sec"],
+            "band": [entry["band"][0] / anchor["band"][1],
+                     entry["band"][1] / anchor["band"][0]],
+        }
+
+    return {
+        "name": name,
+        "states": len(automaton),
+        "cycles": len(data),
+        "lanes": lanes,
+        "depth_bound": depth,
+        "engine_batches": engine_batches,
+        "device_batches": device_batches,
+        "engine_batch16": ratio(engine_batches, 16),
+        "device_batch16": ratio(device_batches, 16),
+        "shard": shard,
+    }
+
+
+def run_suite(scale=0.01, seed=0, repeats=3, lanes=64,
+              workloads=DEFAULT_WORKLOADS):
+    """Measure everything; returns the BENCH_batch payload dict."""
+    rows = [bench_workload(name, scale, seed, repeats, lanes)
+            for name in workloads]
+    best = max(row["engine_batch16"]["speedup"] for row in rows)
+    best_device = max(row["device_batch16"]["speedup"] for row in rows)
+    return {
+        "version": SCHEMA_VERSION,
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "lanes": lanes,
+        "workloads": rows,
+        "best_engine_batch16_speedup": best,
+        "best_device_batch16_speedup": best_device,
+    }
+
+
+def extract_metrics(payload):
+    """Scale-insensitive figures of merit for the regression gate.
+
+    Batch and shard speedups are self-normalized within one run (batched
+    path vs in-run serial anchor), so they compare across machines.
+    """
+    metrics = {}
+    for row in payload["workloads"]:
+        metrics["engine_batch16:%s" % row["name"]] = \
+            row["engine_batch16"]["speedup"]
+        metrics["device_batch16:%s" % row["name"]] = \
+            row["device_batch16"]["speedup"]
+        for shards, entry in row["shard"].items():
+            metrics["shard%s:%s" % (shards, row["name"])] = entry["speedup"]
+    return metrics
+
+
+def extract_bands(payload):
+    """Per-metric ``[lo, hi]`` noise bands from the repeat extremes."""
+    bands = {}
+    for row in payload["workloads"]:
+        bands["engine_batch16:%s" % row["name"]] = \
+            row["engine_batch16"]["band"]
+        bands["device_batch16:%s" % row["name"]] = \
+            row["device_batch16"]["band"]
+        for shards, entry in row["shard"].items():
+            bands["shard%s:%s" % (shards, row["name"])] = entry["band"]
+    return bands
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("BENCH_batch payload invalid: %s" % message)
+
+
+def validate_payload(payload):
+    """Schema check for the trajectory file; raises ValueError on drift.
+
+    Returns the payload unchanged so callers can chain.
+    """
+    _require(isinstance(payload, dict), "expected an object")
+    _require(payload.get("schema") == SCHEMA, "schema != %r" % SCHEMA)
+    _require(payload.get("version") == SCHEMA_VERSION,
+             "version != %d" % SCHEMA_VERSION)
+    for field in ("scale", "seed", "repeats", "lanes",
+                  "best_engine_batch16_speedup",
+                  "best_device_batch16_speedup"):
+        _require(isinstance(payload.get(field), (int, float)),
+                 "%s must be a number" % field)
+    rows = payload.get("workloads")
+    _require(isinstance(rows, list) and rows, "workloads must be non-empty")
+    for row in rows:
+        _require(isinstance(row.get("name"), str), "workload name")
+        for field in ("states", "cycles", "lanes"):
+            _require(isinstance(row.get(field), int) and row[field] > 0,
+                     "%s must be a positive int" % field)
+        for kind in ("engine_batches", "device_batches"):
+            batches = row.get(kind)
+            _require(isinstance(batches, dict)
+                     and set(batches) == {str(b) for b in BATCH_SIZES},
+                     "%s must cover batch sizes %s" % (kind, BATCH_SIZES))
+            for label, entry in batches.items():
+                _require(entry.get("streams_per_sec", 0) > 0,
+                         "%s[%s] streams_per_sec" % (kind, label))
+        for kind in ("engine_batch16", "device_batch16"):
+            entry = row.get(kind)
+            _require(isinstance(entry, dict) and entry.get("speedup", 0) > 0,
+                     "%s speedup" % kind)
+            band = entry.get("band")
+            _require(isinstance(band, list) and len(band) == 2
+                     and 0 < band[0] <= band[1], "%s band" % kind)
+        shard = row.get("shard")
+        _require(isinstance(shard, dict), "shard must be an object")
+        _require(row.get("depth_bound") is None or shard,
+                 "acyclic workload must carry shard figures")
+        for shards, entry in shard.items():
+            _require(entry.get("speedup", 0) > 0,
+                     "shard[%s] speedup" % shards)
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--lanes", type=int, default=64)
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--out", default="BENCH_batch.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale, seed=args.seed,
+                        repeats=args.repeats, lanes=args.lanes,
+                        workloads=args.workloads)
+    validate_payload(payload)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for row in payload["workloads"]:
+        shard_text = "  ".join(
+            "shard%s %.2fx" % (shards, entry["speedup"])
+            for shards, entry in sorted(row["shard"].items())) or "cyclic"
+        print("%-10s engine batch16 %.2fx  device batch16 %.2fx  %s" % (
+            row["name"], row["engine_batch16"]["speedup"],
+            row["device_batch16"]["speedup"], shard_text))
+    print("best engine batch16 speedup: %.2fx"
+          % payload["best_engine_batch16_speedup"])
+    print("best device batch16 speedup: %.2fx"
+          % payload["best_device_batch16_speedup"])
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,11 @@ Runs ``python -m repro profile experiment table4 --workers 2
 - the Chrome trace file's structure, including the runtime's
   generate -> simulate -> transform -> report-drain stage spans nested
   under the experiment span, and the ``parallel.map`` fan-out span the
-  worker spans are stitched under.
+  worker spans are stitched under;
+- a second observed mini-run exercising ``run_batch``/``run_sharded``
+  directly, pinning the batch/shard metric families (the profiled
+  table4 run stays on the default serial stage params, so these
+  instruments need their own exercise to record samples).
 
 Exits non-zero on any drift, so the exposition format is pinned in CI
 (``make profile-smoke``).
@@ -26,9 +30,12 @@ import tempfile
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
+from repro import obs  # noqa: E402
 from repro.cli import main as repro_main  # noqa: E402
 from repro.obs import validate_snapshot  # noqa: E402
+from repro.regex import compile_ruleset  # noqa: E402
 from repro.runtime import store as runtime_store  # noqa: E402
+from repro.sim import BitsetEngine, stream_for  # noqa: E402
 from repro.transform import cache as transform_cache  # noqa: E402
 
 #: Metric families the profiled table4 run must populate.  The engine/
@@ -53,6 +60,13 @@ REQUIRED_METRICS = (
 #: Stage spans that must appear, nested under the experiment span.  The
 #: stage spans themselves ran in worker processes; seeing them in the
 #: parent's trace pins the stitch path.
+#: Batch/shard instruments pinned by the observed mini-run below.
+BATCH_REQUIRED_METRICS = (
+    "repro_engine_batch_lanes",
+    "repro_engine_batch_lane_cache_hits_total",
+    "repro_engine_batch_lane_cache_misses_total",
+    "repro_shard_overlap_bytes",
+)
 REQUIRED_SPANS = (
     "experiment.table4",
     "runtime.wave",
@@ -69,6 +83,30 @@ REQUIRED_SPANS = (
 def fail(message):
     print("profile-smoke: FAIL: %s" % message, file=sys.stderr)
     return 1
+
+
+def check_batch_shard_metrics():
+    """Observed mini-run over run_batch/run_sharded; returns 0 or fail()."""
+    machine = compile_ruleset(["abc", "hello", "[0-9]{3}"])
+    data = b"abc hello 123 " * 40
+    vectors, limit = stream_for(machine, data)
+    registry = obs.MetricsRegistry()
+    with obs.collecting(registry=registry):
+        engine = BitsetEngine(machine)
+        engine.run_batch([vectors, vectors, vectors], position_limit=limit)
+        engine.run_sharded(vectors, 3, position_limit=limit)
+    snapshot = registry.snapshot()
+    validate_snapshot(snapshot)
+    by_name = {metric["name"]: metric for metric in snapshot["metrics"]}
+    missing = [name for name in BATCH_REQUIRED_METRICS
+               if name not in by_name]
+    if missing:
+        return fail("batch/shard mini-run lacks metrics: %s" % missing)
+    empty = [name for name in BATCH_REQUIRED_METRICS
+             if not by_name[name]["samples"]]
+    if empty:
+        return fail("batch/shard metrics recorded no samples: %s" % empty)
+    return 0
 
 
 def check(scale="0.002"):
@@ -125,6 +163,10 @@ def check(scale="0.002"):
             if by_name[stage]["args"]["depth"] <= experiment_depth:
                 return fail("span %s is not nested under the experiment"
                             % stage)
+
+    code = check_batch_shard_metrics()
+    if code:
+        return code
 
     print("profile-smoke: OK (%d metrics, %d spans)"
           % (len(snapshot["metrics"]), len(events)))

@@ -125,6 +125,8 @@ _PARALLEL_EXPERIMENTS = ("table1", "table3", "table4",
                          "figure8", "figure9", "figure10", "scorecard")
 #: Experiments whose stage graphs carry the device-fidelity knob.
 _FIDELITY_EXPERIMENTS = ("table4", "figure10")
+#: Experiments whose simulate stages accept --batch/--shards.
+_BATCH_EXPERIMENTS = ("table1", "table4")
 
 
 def cmd_experiment(args):
@@ -137,6 +139,13 @@ def cmd_experiment(args):
         kwargs["workers"] = args.workers
     if args.name in _FIDELITY_EXPERIMENTS:
         kwargs["fidelity"] = args.device_fidelity
+    if args.name in _BATCH_EXPERIMENTS:
+        kwargs["batch"] = args.batch
+        kwargs["shards"] = args.shards
+    elif args.batch != 1 or args.shards != 1:
+        raise SystemExit(
+            "--batch/--shards apply only to: %s"
+            % ", ".join(_BATCH_EXPERIMENTS))
     module.main(**kwargs)
     return 0
 
@@ -431,6 +440,14 @@ def build_parser():
         "--workers", type=int, default=1, metavar="N",
         help="fan benchmark evaluations across N processes "
              "(0 = all cores; default: serial)")
+    experiment_parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="run the simulate stages as N interleaved lanes of one "
+             "engine pass (bit-exact; table1/table4 only)")
+    experiment_parser.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="split each simulate stage's stream into K overlap-replayed "
+             "blocks (bit-exact; table1/table4 only)")
     _add_observability_flags(experiment_parser)
     experiment_parser.set_defaults(func=cmd_experiment)
 

@@ -86,6 +86,12 @@ class SunderDevice:
         self._step_cache_limit = step_cache
         self._kernel = None
         self._regions = []
+        # FIFO-drain accounting: the cycle loops accumulate a plain int
+        # and the run boundaries flush the delta to the instrument, so
+        # the per-cycle paths never touch OBS (run-setup hoist; see
+        # docs/performance.md).
+        self._fifo_drained_total = 0
+        self._fifo_drained_reported = 0
 
     # ------------------------------------------------------------------
     # Configuration
@@ -171,8 +177,10 @@ class SunderDevice:
             # cycles, so packed state is materialized eagerly here; the
             # bulk run() path syncs once at the end instead.
             self._sync_kernel()
-            return stall
-        return self._literal_step(vector)
+        else:
+            stall = self._literal_step(vector)
+        self._flush_fifo_drained()
+        return stall
 
     def _check_runnable(self):
         if self.placement is None:
@@ -277,8 +285,16 @@ class SunderDevice:
             budget -= drained
             drained_total += drained
         self._drain_credit -= int(self._drain_credit) - budget
-        if drained_total and OBS.active:
-            OBS.instruments.device_fifo_drained.inc(drained_total)
+        self._fifo_drained_total += drained_total
+
+    def _flush_fifo_drained(self):
+        """Ship accumulated FIFO-drain counts to the instrument."""
+        if not OBS.active:
+            return
+        pending = self._fifo_drained_total - self._fifo_drained_reported
+        if pending:
+            OBS.instruments.device_fifo_drained.inc(pending)
+            self._fifo_drained_reported = self._fifo_drained_total
 
     def run(self, vectors, position_limit=None):
         """Stream a whole input; returns a :class:`RunResult`."""
@@ -311,10 +327,12 @@ class SunderDevice:
                 cycle += 1
             self.global_cycle = cycle
             self._sync_kernel()
+            self._flush_fifo_drained()
             return total_stall
         step = self._literal_step
         for vector in vectors:
             total_stall += step(vector)
+        self._flush_fifo_drained()
         return total_stall
 
     def _run_observed(self, vectors, position_limit):
@@ -335,6 +353,66 @@ class SunderDevice:
         instruments.device_run_seconds.observe(elapsed)
         self._record_kernel_metrics(instruments, kernel_before)
         return RunResult(self, len(vectors), total_stall, position_limit)
+
+    # ------------------------------------------------------------------
+    # Batched multi-stream execution
+    # ------------------------------------------------------------------
+    def run_batch(self, streams, position_limit=None):
+        """Drive N independent streams through the configured automaton.
+
+        The aggregate-throughput fast path: every lane behaves as a
+        fresh stream over the programmed machine (reset dynamic state,
+        cycle 0 start semantics) and all lanes share the packed kernel's
+        step cache, so identical transitions are computed once per
+        batch.  Reports decode straight into per-lane recorders — the
+        reporting-region hardware model (row writes, stalls, flushes,
+        FIFO drains) is bypassed, and the device's own streaming state
+        (``global_cycle``, enables, access counters, regions) is left
+        untouched; use :meth:`run` when those figures matter.  Returns
+        the list of per-lane :class:`ReportRecorder`\\ s.
+
+        Packed fidelity only: the literal oracle has no lane-sharable
+        compiled form.
+        """
+        self._check_runnable()
+        if self.fidelity != "packed":
+            raise ArchitectureError(
+                "run_batch requires the packed fidelity (the literal "
+                "oracle executes one stream at a time)")
+        lane_vectors = [
+            [(vector,) if isinstance(vector, int) else tuple(vector)
+             for vector in stream]
+            for stream in streams]
+        recorders = [ReportRecorder(position_limit=position_limit)
+                     for _ in lane_vectors]
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._compile_kernel()
+        period = self.automaton.start_period
+        if OBS.active:
+            self._run_batch_observed(kernel, lane_vectors, period, recorders)
+        else:
+            kernel.run_batch(lane_vectors, period, recorders)
+        return recorders
+
+    def _run_batch_observed(self, kernel, lane_vectors, period, recorders):
+        """`run_batch` with the telemetry hooks live."""
+        instruments = OBS.instruments
+        before = self._kernel_counters()
+        total_cycles = sum(len(vectors) for vectors in lane_vectors)
+        with trace_span("device.run_batch", lanes=len(lane_vectors),
+                        cycles=total_cycles):
+            start = perf_counter()
+            lane_hits, lane_misses = kernel.run_batch(
+                lane_vectors, period, recorders)
+            elapsed = perf_counter() - start
+        instruments.device_cycles.inc(total_cycles)
+        instruments.device_run_seconds.observe(elapsed)
+        self._record_kernel_metrics(instruments, before)
+        handles = instruments.engine_handles("device")
+        handles.batch_lanes.observe(len(lane_vectors))
+        handles.batch_lane_cache_hits.inc(sum(lane_hits))
+        handles.batch_lane_cache_misses.inc(sum(lane_misses))
 
     def _kernel_counters(self):
         kernel = self._kernel

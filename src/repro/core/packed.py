@@ -127,6 +127,7 @@ class PackedKernel:
         self._pending_crossbar = [0] * len(self.pus)
         self._pending_gs = [0] * len(self.clusters)
         self._report_arrays = {}
+        self._batch_plans = {}
 
     # ------------------------------------------------------------------
     # Execution
@@ -157,7 +158,7 @@ class PackedKernel:
         next_enables, actives, plan, crossbar_pus, gs_clusters, skipped = value
         stall = 0
         regions = self.regions
-        for index, bits in plan:
+        for index, _, bits in plan:
             stall += regions[index].append(bits, cycle)
         self.enables = next_enables
         self.actives = actives
@@ -224,7 +225,11 @@ class PackedKernel:
                 cluster_active = True
                 report = active >> report_base
                 if report:
-                    plan.append((index, self._report_array(report)))
+                    # Plan entries carry both forms of the report bits:
+                    # the bool array feeds the literal region append on
+                    # the step() path, the packed int keys the decoded
+                    # per-lane plan on the run_batch path.
+                    plan.append((index, report, self._report_array(report)))
                 succ = self.local_succ[index]
                 slot_base = pu_index * cols
                 out = 0
@@ -256,6 +261,96 @@ class PackedKernel:
             array.setflags(write=False)
             self._report_arrays[report] = array
         return array
+
+    # ------------------------------------------------------------------
+    # Batched multi-stream execution
+    # ------------------------------------------------------------------
+    def _batch_report_plan(self, index, report):
+        """Memoized decode of one PU's packed report pattern.
+
+        Maps the report bits straight to ``(offset, state_id, code)``
+        triples — the same decode :meth:`ProcessingUnit.
+        decode_report_columns` performs entry-by-entry on the literal
+        path, hoisted to once per distinct pattern so batched lanes
+        skip the reporting region and its numpy row writes entirely.
+        """
+        key = (index, report)
+        plan = self._batch_plans.get(key)
+        if plan is None:
+            pu = self.pus[index]
+            base = self.report_base
+            entries = []
+            bits = report
+            while bits:
+                low = bits & -bits
+                state = pu.state_of_column[base + low.bit_length() - 1]
+                if state is None:
+                    raise ArchitectureError(
+                        "report bit set for an unconfigured column")
+                for offset in state.report_offsets:
+                    entries.append((offset, state.id, state.report_code))
+                bits ^= low
+            plan = tuple(entries)
+            self._batch_plans[key] = plan
+        return plan
+
+    def run_batch(self, lane_vectors, period, recorders):
+        """Drive N independent normalized streams through the kernel.
+
+        Each lane starts from the reset dynamic state (zero enables)
+        and advances in lockstep with the others; lanes share the step
+        cache, so identical ``(enables, vector, phase)`` transitions
+        are computed once per batch.  Reports decode straight into the
+        per-lane recorders via :meth:`_batch_report_plan` — the
+        reporting-region hardware model (row writes, stalls, flushes,
+        FIFO drains) is bypassed, and the kernel's own dynamic state,
+        pending access counters, and regions are untouched.  Returns
+        per-lane ``(hits, misses)`` lists.
+        """
+        cache = self._cache
+        cache_limit = self._cache_limit
+        touch_floor = self._touch_floor
+        compute = self._compute
+        batch_plan = self._batch_report_plan
+        arity = self.arity
+        lanes = len(lane_vectors)
+        reset_enables = (0,) * len(self.pus)
+        enables = [reset_enables] * lanes
+        lane_hits = [0] * lanes
+        lane_misses = [0] * lanes
+        lane_lengths = [len(vectors) for vectors in lane_vectors]
+        for cycle in range(max(lane_lengths, default=0)):
+            phase = 2 if cycle == 0 else (1 if cycle % period == 0 else 0)
+            base = cycle * arity
+            for lane in range(lanes):
+                if cycle >= lane_lengths[lane]:
+                    continue
+                key = (enables[lane], lane_vectors[lane][cycle], phase)
+                value = cache.get(key)
+                if value is None:
+                    lane_misses[lane] += 1
+                    value = compute(key)
+                    if cache_limit:
+                        cache[key] = value
+                        if len(cache) > cache_limit:
+                            del cache[next(iter(cache))]
+                else:
+                    lane_hits[lane] += 1
+                    if len(cache) > touch_floor:
+                        del cache[key]
+                        cache[key] = value
+                enables[lane] = value[0]
+                plan = value[2]
+                if plan:
+                    record = recorders[lane].record
+                    for index, report, _ in plan:
+                        for offset, state_id, code in batch_plan(index,
+                                                                 report):
+                            record(base + offset, cycle, state_id, code)
+                self.pus_skipped += value[5]
+        self.cache_hits += sum(lane_hits)
+        self.cache_misses += sum(lane_misses)
+        return lane_hits, lane_misses
 
     # ------------------------------------------------------------------
     # Synchronization with the literal model

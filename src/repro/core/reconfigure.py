@@ -133,14 +133,24 @@ class MultiRoundResult:
 
 
 def run_multi_round(automaton, vectors, config, max_clusters,
-                    position_limit=None, fidelity="auto"):
+                    position_limit=None, fidelity="auto", batch=False):
     """Execute ``automaton`` over ``vectors`` in as many rounds as needed.
 
     Returns a :class:`MultiRoundResult` whose recorder holds the merged
     reports of every round (identical to a single-round run on unlimited
     hardware, which the tests verify).  ``fidelity`` selects each
     round's device execution path.
+
+    With ``batch=True``, ``vectors`` is a *list of streams* and every
+    round drives all of them through one :meth:`SunderDevice.run_batch`
+    call (packed fidelity only).  The result's ``recorder`` is then a
+    list of per-lane recorders, ``stream_cycles`` is the summed lane
+    length, and ``stall_cycles`` stays 0 — the batched path bypasses
+    the reporting-region stall model.
     """
+    if batch:
+        return _run_multi_round_batch(automaton, vectors, config,
+                                      max_clusters, position_limit, fidelity)
     vectors = list(vectors)
     rounds = partition_rounds(automaton, config, max_clusters)
     merged = ReportRecorder(position_limit=position_limit)
@@ -158,4 +168,29 @@ def run_multi_round(automaton, vectors, config, max_clusters,
                           event.report_code)
     return MultiRoundResult(
         len(rounds), len(vectors), configure_cycles, stall_cycles, merged,
+    )
+
+
+def _run_multi_round_batch(automaton, streams, config, max_clusters,
+                           position_limit, fidelity):
+    """Multi-round execution over N independent streams per round."""
+    streams = [list(stream) for stream in streams]
+    rounds = partition_rounds(automaton, config, max_clusters)
+    merged = [ReportRecorder(position_limit=position_limit)
+              for _ in streams]
+    configure_cycles = 0
+    for machine in rounds:
+        device = SunderDevice(config, max_clusters=max_clusters,
+                              fidelity=fidelity)
+        placement = device.configure(machine)
+        configure_cycles += configuration_write_cycles(placement, config)
+        lane_recorders = device.run_batch(streams,
+                                          position_limit=position_limit)
+        for target, part in zip(merged, lane_recorders):
+            for event in part.events:
+                target.record(event.position, event.cycle, event.state_id,
+                              event.report_code)
+    return MultiRoundResult(
+        len(rounds), sum(len(stream) for stream in streams),
+        configure_cycles, 0, merged,
     )

@@ -38,7 +38,7 @@ from ..sim.reports import ReportRecorder
 from ..transform.pipeline import to_rate
 from ..obs import instrumented_experiment, trace_span
 from .formatting import average_row, format_table
-from .table1 import select_names
+from .table1 import select_names, simulation_params
 
 COLUMNS = [
     ("benchmark", "Benchmark"),
@@ -104,23 +104,29 @@ def evaluate_benchmark(instance, rate=4, config=None, scale=1.0,
                          rate=rate, scale=scale, config=config)
 
 
-def define(graph, scale, seed, names, rate, fidelity="auto"):
+def define(graph, scale, seed, names, rate, fidelity="auto",
+           batch=1, shards=1):
     """Declare Table 4's stages; returns the per-benchmark row tasks.
 
     ``fidelity`` salts the device-bearing ``place``/``report_drain``
     stage params so packed/literal runs never alias (the knob is
     otherwise inert here — the replays run on cached report profiles).
+    ``batch``/``shards`` select the simulate stages' engine strategy and
+    salt their keys the same way (only when > 1).
     """
     rows = []
     for name in names:
         gen = graph.task("generate",
                          {"name": name, "scale": scale, "seed": seed})
-        sim8 = graph.task("simulate8", {"name": name}, deps=[gen])
+        sim8 = graph.task("simulate8",
+                          simulation_params({"name": name}, batch, shards),
+                          deps=[gen])
         strided = graph.task("to_rate", {"name": name, "rate": rate},
                              deps=[gen])
-        sim_strided = graph.task("simulate_strided",
-                                 {"name": name, "rate": rate},
-                                 deps=[gen, strided])
+        sim_strided = graph.task(
+            "simulate_strided",
+            simulation_params({"name": name, "rate": rate}, batch, shards),
+            deps=[gen, strided])
         placed = graph.task("place",
                             {"name": name, "rate": rate,
                              "fidelity": fidelity},
@@ -134,18 +140,21 @@ def define(graph, scale, seed, names, rate, fidelity="auto"):
 
 
 def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None,
-        fidelity="auto"):
+        fidelity="auto", batch=1, shards=1):
     """Evaluate the suite; returns (rows, averages).
 
     ``workers`` fans the stage executions out across a process pool
     (0 = all cores); row order is the suite order regardless.  Pass a
     shared ``runtime`` to deduplicate stages with other experiments.
+    ``batch``/``shards`` pick the engine execution strategy for the
+    simulate stages (bit-exact either way; see docs/performance.md).
     """
     chosen = select_names(names, "table4.run")
     if runtime is None:
         runtime = Runtime(workers=workers)
     graph = StageGraph()
-    tasks = define(graph, scale, seed, chosen, rate, fidelity=fidelity)
+    tasks = define(graph, scale, seed, chosen, rate, fidelity=fidelity,
+                   batch=batch, shards=shards)
     results = runtime.execute(graph, targets=tasks)
     rows = [results[task] for task in tasks]
     averages = average_row(
@@ -164,9 +173,10 @@ def render(rows, averages):
 
 
 @instrumented_experiment("table4")
-def main(scale=0.01, seed=0, names=None, workers=1, fidelity="auto"):
+def main(scale=0.01, seed=0, names=None, workers=1, fidelity="auto",
+         batch=1, shards=1):
     """Run and print."""
     rows, averages = run(scale=scale, seed=seed, names=names, workers=workers,
-                         fidelity=fidelity)
+                         fidelity=fidelity, batch=batch, shards=shards)
     print(render(rows, averages))
     return rows, averages

@@ -15,6 +15,10 @@ SECONDS_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0,
                    10.0, 30.0, 60.0)
 #: Buckets for transform blow-up ratios (output/input states).
 RATIO_BUCKETS = (0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0)
+#: Buckets for run_batch lane counts (powers of two up to a large fleet).
+BATCH_LANE_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+#: Buckets for shard warm-up overlap lengths, in sub-symbol units.
+OVERLAP_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 
 
 class Instruments:
@@ -49,6 +53,24 @@ class Instruments:
         self.engine_step_cache_misses = counter(
             "repro_engine_step_cache_misses_total",
             "Step-memoization cache misses during engine runs.", ("engine",))
+        self.engine_batch_lanes = histogram(
+            "repro_engine_batch_lanes",
+            "Lane count per run_batch invocation.", ("engine",),
+            buckets=BATCH_LANE_BUCKETS)
+        self.engine_batch_lane_cache_hits = counter(
+            "repro_engine_batch_lane_cache_hits_total",
+            "Step-cache hits inside batched lanes (summed per-lane counts "
+            "of every run_batch).", ("engine",))
+        self.engine_batch_lane_cache_misses = counter(
+            "repro_engine_batch_lane_cache_misses_total",
+            "Step-cache misses inside batched lanes (summed per-lane "
+            "counts of every run_batch).", ("engine",))
+        self.shard_overlap_bytes = histogram(
+            "repro_shard_overlap_bytes",
+            "Warm-up overlap replayed per shard block, in sub-symbol "
+            "units (depth bound x arity, clamped to the block start).",
+            buckets=OVERLAP_BUCKETS)
+        self._engine_handles = {}
 
         # --- parallel experiment runner (repro.sim.parallel) -----------
         self.parallel_jobs = counter(
@@ -175,6 +197,51 @@ class Instruments:
             "repro_experiment_seconds",
             "Wall time per experiment entry point.", ("experiment",),
             buckets=SECONDS_BUCKETS)
+
+
+    def engine_handles(self, engine):
+        """Pre-resolved label children of every per-engine metric.
+
+        Resolving a metric's ``labels(...)`` child costs a dict build
+        and lookup; run hot paths used to pay it per run (and a batched
+        run would pay it per lane).  Hoisting the resolution here — once
+        per process per engine tag — is the run-setup micro-fix
+        documented in docs/performance.md.
+        """
+        handles = self._engine_handles.get(engine)
+        if handles is None:
+            handles = EngineHandles(self, engine)
+            self._engine_handles[engine] = handles
+        return handles
+
+
+class EngineHandles:
+    """One engine tag's label children, resolved once (see
+    :meth:`Instruments.engine_handles`)."""
+
+    __slots__ = ("runs", "cycles", "reports", "run_seconds",
+                 "active_states", "cache_hits", "cache_misses",
+                 "batch_lanes", "batch_lane_cache_hits",
+                 "batch_lane_cache_misses")
+
+    def __init__(self, instruments, engine):
+        self.runs = instruments.engine_runs.labels(engine=engine)
+        self.cycles = instruments.engine_cycles.labels(engine=engine)
+        self.reports = instruments.engine_reports.labels(engine=engine)
+        self.run_seconds = instruments.engine_run_seconds.labels(
+            engine=engine)
+        self.active_states = instruments.engine_active_states.labels(
+            engine=engine)
+        self.cache_hits = instruments.engine_step_cache_hits.labels(
+            engine=engine)
+        self.cache_misses = instruments.engine_step_cache_misses.labels(
+            engine=engine)
+        self.batch_lanes = instruments.engine_batch_lanes.labels(
+            engine=engine)
+        self.batch_lane_cache_hits = \
+            instruments.engine_batch_lane_cache_hits.labels(engine=engine)
+        self.batch_lane_cache_misses = \
+            instruments.engine_batch_lane_cache_misses.labels(engine=engine)
 
 
 def instruments_for(registry):

@@ -50,6 +50,22 @@ class SimRun:
         self.max_active_states = max_active_states
         self.avg_active_states = avg_active_states
 
+    @classmethod
+    def from_engine(cls, engine, recorder, cycles):
+        """Build a run from a just-executed engine's active-count history.
+
+        Works for plain, sharded, and batched-lane executions alike:
+        every engine path leaves ``active_count_history`` holding the
+        serial-equivalent per-cycle counts, so the Table 1 dynamic
+        statistics come out identical regardless of execution strategy.
+        """
+        history = engine.active_count_history
+        return cls(
+            recorder, cycles,
+            max_active_states=max(history) if history else 0,
+            avg_active_states=sum(history) / cycles if cycles else 0.0,
+        )
+
     def summary(self):
         """The recorder's Table 1 dynamic columns plus run statistics."""
         row = self.recorder.summary(self.cycles)

@@ -146,6 +146,28 @@ def _generate(params):
                               seed=params["seed"])
 
 
+def _run_simulation(engine, vectors, recorder, params):
+    """Dispatch a stage simulation through the chosen engine strategy.
+
+    ``shards=K`` splits the stream into K overlap-replayed blocks run
+    back to back; ``batch=N`` runs the same N blocks as interleaved
+    lanes of one pass (both are bit-exact vs ``engine.run``, pinned by
+    tests/test_batch_shard.py).  The experiment layer puts these keys in
+    the params only when > 1, so pre-existing artifact keys are
+    untouched while batched/sharded runs salt the key through
+    :func:`canonical` automatically.
+    """
+    shards = params.get("shards", 1)
+    batch = params.get("batch", 1)
+    if shards > 1:
+        engine.run_sharded(vectors, shards, recorder, interleave=False)
+    elif batch > 1:
+        engine.run_sharded(vectors, batch, recorder, interleave=True)
+    else:
+        engine.run(vectors, recorder)
+    return recorder
+
+
 @stage("simulate8", codec=SIMRUN_CODEC)
 def _simulate8(params, instance):
     """Functional simulation of the 8-bit machine over its input.
@@ -156,14 +178,8 @@ def _simulate8(params, instance):
     engine = BitsetEngine(instance.automaton)
     recorder = ReportRecorder(keep_events=True)
     stream = list(instance.input_bytes)
-    engine.run(stream, recorder)
-    cycles = len(stream)
-    history = engine.active_count_history
-    return SimRun(
-        recorder, cycles,
-        max_active_states=max(history) if history else 0,
-        avg_active_states=sum(history) / cycles if cycles else 0.0,
-    )
+    _run_simulation(engine, stream, recorder, params)
+    return SimRun.from_engine(engine, recorder, len(stream))
 
 
 def _transform_salt(params):
@@ -181,7 +197,7 @@ def _simulate_strided(params, instance, strided):
     """Functional simulation of the strided machine over the same input."""
     vectors, limit = stream_for(strided, instance.input_bytes)
     recorder = ReportRecorder(keep_events=True, position_limit=limit)
-    BitsetEngine(strided).run(vectors, recorder)
+    _run_simulation(BitsetEngine(strided), vectors, recorder, params)
     return SimRun(recorder, len(vectors))
 
 

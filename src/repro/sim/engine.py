@@ -22,6 +22,18 @@ Two engines with identical semantics:
 - :class:`NaiveEngine` — direct set-of-states implementation kept as a
   differential-testing oracle.
 
+On top of the single-stream path sit two aggregate-throughput modes:
+
+- :meth:`BitsetEngine.run_batch` drives N independent streams through
+  the compiled automaton in one pass (per-lane active masks, per-lane
+  recorders, one shared step cache — identical ``(active, vector,
+  phase)`` work is paid once per batch instead of once per stream);
+- :meth:`BitsetEngine.run_sharded` splits one long stream into blocks
+  whose warm-up overlap is bounded by
+  :meth:`~repro.automata.automaton.Automaton.depth_bound` and stitches
+  the block results bit-exact with the single-pass run (cyclic
+  machines, whose history is unbounded, fall back to the serial path).
+
 Cycle semantics (matching VASim and the paper's Figure 1):
 
 1. ``enabled(t) = successors(active(t-1)) | all-input starts (if t is a
@@ -48,6 +60,24 @@ DEFAULT_STEP_CACHE = 1 << 16
 EAGER_SLICE_STATES = 512
 
 _KERNELS = ("auto", "sliced", "scan")
+
+#: Accepted ``batch_layout`` values for :meth:`BitsetEngine.run_batch`.
+#: ``"lanes"`` keeps one active int per lane; ``"wide"`` packs every
+#: lane into a single wide int at a padded-state-count stride.  Both
+#: share the step cache per lane (each lane consumes its own input
+#: vector, so there is no cross-lane work to share); benchmarking shows
+#: the lane list wins — the wide int pays extract/insert shifts on an
+#: ever-growing integer for no algorithmic gain — so ``"auto"`` selects
+#: ``"lanes"`` (see docs/performance.md).
+BATCH_LAYOUTS = ("auto", "lanes", "wide")
+
+
+def _resolve_layout(batch_layout):
+    if batch_layout not in BATCH_LAYOUTS:
+        raise SimulationError(
+            "unknown batch_layout %r (choose from %s)"
+            % (batch_layout, BATCH_LAYOUTS))
+    return "lanes" if batch_layout == "auto" else batch_layout
 
 
 class BitsetEngine:
@@ -128,6 +158,9 @@ class BitsetEngine:
         self._cache_hits = 0
         self._cache_misses = 0
         self._history_limit = history_limit
+        #: Per-lane active-count histories of the last :meth:`run_batch`
+        #: (or in-process :meth:`run_sharded`) call; empty otherwise.
+        self.lane_histories = []
         self.reset()
 
     def _build_block_tables(self):
@@ -182,11 +215,12 @@ class BitsetEngine:
         """
         self._active = 0
         self._cycle = 0
+        self.active_count_history = self._new_history()
+
+    def _new_history(self):
+        """Fresh history container honoring ``history_limit``."""
         limit = self._history_limit
-        if limit is None:
-            self.active_count_history = []
-        else:
-            self.active_count_history = deque(maxlen=limit)
+        return [] if limit is None else deque(maxlen=limit)
 
     @property
     def cycle(self):
@@ -208,9 +242,9 @@ class BitsetEngine:
             "limit": self._step_cache_limit,
         }
 
-    def _enabled_mask(self):
+    def _propagate(self, active):
+        """Successor-union of an active mask (start states excluded)."""
         enabled = 0
-        active = self._active
         if self.kernel == "sliced":
             tables = self._block_tables
             clear = self._block_clear
@@ -229,11 +263,29 @@ class BitsetEngine:
                 low = active & -active
                 enabled |= succ[low.bit_length() - 1]
                 active ^= low
-        if self._cycle % self._start_period == 0:
-            enabled |= self._all_input_mask
-        if self._cycle == 0:
-            enabled |= self._start_of_data_mask
         return enabled
+
+    def _enabled_from(self, active, phase):
+        """Enabled mask as a pure function of ``(active, phase)``.
+
+        ``phase`` is the step-key phase: 2 = start-of-data cycle (both
+        start kinds self-enable), 1 = start-period boundary (all-input
+        starts only), 0 = mid-period.  Pure in its arguments so batch
+        lanes and shard replays — which never own ``self._cycle`` —
+        share one transition function with the streaming path.
+        """
+        enabled = self._propagate(active)
+        if phase:
+            enabled |= self._all_input_mask
+            if phase == 2:
+                enabled |= self._start_of_data_mask
+        return enabled
+
+    def _enabled_mask(self):
+        cycle = self._cycle
+        phase = 2 if cycle == 0 else (1 if cycle % self._start_period == 0
+                                      else 0)
+        return self._enabled_from(self._active, phase)
 
     def match_mask(self, vector):
         """Bitmask of states whose symbols match ``vector``."""
@@ -344,9 +396,7 @@ class BitsetEngine:
             cached = cache_get(key)
             if cached is None:
                 misses += 1
-                self._active = active  # sync for _enabled_mask
-                self._cycle = cycle
-                nxt = self._enabled_mask() & self.match_mask(vector)
+                nxt = self._enabled_from(active, phase) & self.match_mask(vector)
                 cached = (nxt, self._report_plan(nxt & report_mask))
                 if len(cache) >= limit:
                     cache.pop(next(iter(cache)))
@@ -384,8 +434,13 @@ class BitsetEngine:
         return recorder
 
     def _run_observed(self, stream, recorder):
-        """`run` with the telemetry hooks live (collector attached)."""
-        instruments = OBS.instruments
+        """`run` with the telemetry hooks live (collector attached).
+
+        Label children are pre-resolved once per process via
+        ``engine_handles`` (the run-setup hoist): run hot paths never
+        pay per-run ``labels(...)`` dictionary work again.
+        """
+        handles = OBS.instruments.engine_handles("bitset")
         reports_before = recorder.total_reports
         hits_before = self._cache_hits
         misses_before = self._cache_misses
@@ -397,20 +452,268 @@ class BitsetEngine:
             self.reset()
             self._execute(vectors, recorder)
             elapsed = perf_counter() - start
-        instruments.engine_runs.labels(engine="bitset").inc()
-        instruments.engine_cycles.labels(engine="bitset").inc(len(vectors))
-        instruments.engine_reports.labels(engine="bitset").inc(
-            recorder.total_reports - reports_before)
-        instruments.engine_run_seconds.labels(engine="bitset").observe(elapsed)
-        instruments.engine_step_cache_hits.labels(engine="bitset").inc(
-            self._cache_hits - hits_before)
-        instruments.engine_step_cache_misses.labels(engine="bitset").inc(
-            self._cache_misses - misses_before)
-        active_histogram = instruments.engine_active_states.labels(
-            engine="bitset")
+        handles.runs.inc()
+        handles.cycles.inc(len(vectors))
+        handles.reports.inc(recorder.total_reports - reports_before)
+        handles.run_seconds.observe(elapsed)
+        handles.cache_hits.inc(self._cache_hits - hits_before)
+        handles.cache_misses.inc(self._cache_misses - misses_before)
+        observe_active = handles.active_states.observe
         for count in self.active_count_history:
-            active_histogram.observe(count)
+            observe_active(count)
         return recorder
+
+    # ------------------------------------------------------------------
+    # Batched multi-stream execution
+    # ------------------------------------------------------------------
+    def run_batch(self, streams, recorders=None, position_limit=None,
+                  batch_layout="auto"):
+        """Drive N independent streams through the automaton in one pass.
+
+        Each lane behaves exactly as a fresh :meth:`run` over its stream
+        (the differential suite pins bit-exactness); lanes may have
+        different lengths — exhausted lanes freeze while the rest
+        continue.  The step cache is shared across lanes, so identical
+        ``(active, vector, phase)`` work is paid once per batch instead
+        of once per stream.  Returns the list of per-lane recorders;
+        per-lane active-count histories land in ``self.lane_histories``
+        and the engine's own streaming state is reset afterwards.
+
+        ``batch_layout`` selects the active-mask representation (see
+        :data:`BATCH_LAYOUTS`); ``"auto"`` picks the benchmarked winner.
+        """
+        layout = _resolve_layout(batch_layout)
+        lane_vectors = [_normalize_stream(self.automaton, stream)
+                        for stream in streams]
+        if recorders is None:
+            recorders = [ReportRecorder(position_limit=position_limit)
+                         for _ in lane_vectors]
+        elif len(recorders) != len(lane_vectors):
+            raise SimulationError(
+                "run_batch got %d recorders for %d streams"
+                % (len(recorders), len(lane_vectors)))
+        histories = (None if self._history_limit == 0
+                     else [self._new_history() for _ in lane_vectors])
+        if OBS.active:
+            self._run_batch_observed(lane_vectors, recorders, layout,
+                                     histories)
+        else:
+            self._execute_lanes(lane_vectors, recorders, layout,
+                                histories=histories)
+        self.lane_histories = histories if histories is not None else []
+        self.reset()
+        return recorders
+
+    def _run_batch_observed(self, lane_vectors, recorders, layout,
+                            histories):
+        """`run_batch` with the telemetry hooks live."""
+        handles = OBS.instruments.engine_handles("bitset")
+        reports_before = sum(r.total_reports for r in recorders)
+        total_cycles = sum(len(vectors) for vectors in lane_vectors)
+        with trace_span("engine.run_batch", engine="bitset",
+                        automaton=self.automaton.name,
+                        lanes=len(lane_vectors), cycles=total_cycles,
+                        layout=layout):
+            start = perf_counter()
+            lane_hits, lane_misses = self._execute_lanes(
+                lane_vectors, recorders, layout, histories=histories)
+            elapsed = perf_counter() - start
+        # Lane-for-lane parity with N serial runs: counters move by the
+        # same amounts a loop of run() calls would move them.
+        handles.runs.inc(len(lane_vectors))
+        handles.cycles.inc(total_cycles)
+        handles.reports.inc(
+            sum(r.total_reports for r in recorders) - reports_before)
+        handles.run_seconds.observe(elapsed)
+        handles.cache_hits.inc(sum(lane_hits))
+        handles.cache_misses.inc(sum(lane_misses))
+        handles.batch_lanes.observe(len(lane_vectors))
+        handles.batch_lane_cache_hits.inc(sum(lane_hits))
+        handles.batch_lane_cache_misses.inc(sum(lane_misses))
+        if histories is not None:
+            observe_active = handles.active_states.observe
+            for history in histories:
+                for count in history:
+                    observe_active(count)
+
+    def _execute_lanes(self, lane_vectors, recorders, layout,
+                       start_cycles=None, record_from=None, histories=None):
+        """The batched hot loop: N lanes, one shared step cache.
+
+        ``start_cycles`` gives each lane's absolute first cycle (shard
+        replays start mid-stream; phases derive from absolute cycles so
+        start-period boundaries line up with the serial run) and
+        ``record_from`` suppresses reports/history before a lane's true
+        block start (warm-up cycles exist only to rebuild the active
+        mask).  Returns per-lane ``(hits, misses)`` lists.
+        """
+        count = len(lane_vectors)
+        if start_cycles is None:
+            start_cycles = (0,) * count
+        if record_from is None:
+            record_from = start_cycles
+        cache = self._step_cache
+        limit = self._step_cache_limit
+        touch_floor = limit >> 1
+        period = self._start_period
+        report_mask = self._report_mask
+        arity = self.automaton.arity
+        popcount = _popcount
+        cache_get = cache.get if cache is not None else None
+        enabled_from = self._enabled_from
+        match_mask = self.match_mask
+        report_plan = self._report_plan
+        wide = 0
+        stride = lane_mask = 0
+        if layout == "wide":
+            # Lane stride: state count padded to whole 8-bit blocks.
+            stride = ((self._size + 7) & ~7) or 8
+            lane_mask = (1 << self._size) - 1
+        actives = [0] * count
+        lane_hits = [0] * count
+        lane_misses = [0] * count
+        lane_lengths = [len(vectors) for vectors in lane_vectors]
+        for index in range(max(lane_lengths, default=0)):
+            for lane in range(count):
+                if index >= lane_lengths[lane]:
+                    continue
+                vector = lane_vectors[lane][index]
+                cycle = start_cycles[lane] + index
+                phase = (2 if cycle == 0 else
+                         1 if cycle % period == 0 else 0)
+                if layout == "wide":
+                    shift = lane * stride
+                    active = (wide >> shift) & lane_mask
+                else:
+                    active = actives[lane]
+                if cache is not None:
+                    key = (active, vector, phase)
+                    cached = cache_get(key)
+                    if cached is None:
+                        lane_misses[lane] += 1
+                        nxt = enabled_from(active, phase) & match_mask(vector)
+                        cached = (nxt, report_plan(nxt & report_mask))
+                        if len(cache) >= limit:
+                            cache.pop(next(iter(cache)))
+                        cache[key] = cached
+                    else:
+                        lane_hits[lane] += 1
+                        if len(cache) > touch_floor:
+                            del cache[key]
+                            cache[key] = cached
+                    active, plan = cached
+                else:
+                    lane_misses[lane] += 1
+                    active = enabled_from(active, phase) & match_mask(vector)
+                    plan = (report_plan(active & report_mask)
+                            if active & report_mask else ())
+                if layout == "wide":
+                    wide = (wide & ~(lane_mask << shift)) | (active << shift)
+                else:
+                    actives[lane] = active
+                if cycle >= record_from[lane]:
+                    if plan:
+                        recorder = recorders[lane]
+                        if recorder is not None:
+                            base = cycle * arity
+                            for offset, state_id, code in plan:
+                                recorder.record(base + offset, cycle,
+                                                state_id, code)
+                    if histories is not None:
+                        histories[lane].append(popcount(active))
+        self._cache_hits += sum(lane_hits)
+        self._cache_misses += sum(lane_misses)
+        return lane_hits, lane_misses
+
+    # ------------------------------------------------------------------
+    # Sharded single-stream execution
+    # ------------------------------------------------------------------
+    def run_sharded(self, stream, shards, recorder=None, position_limit=None,
+                    runner=None, interleave=True):
+        """Split one stream into ``shards`` blocks and stitch the results.
+
+        Every block after the first replays an *overlap prefix* of
+        ``depth_bound()`` vectors from an empty active mask before its
+        own range: a state at edge-distance ``d`` from a start only
+        remembers ``d`` cycles of history, so the replayed active mask
+        is exact by the block's first true cycle, and reports inside the
+        overlap window are suppressed (they belong to the previous
+        block).  The stitched recorder and active-count history are
+        bit-exact with :meth:`run` — cyclic machines (``depth_bound()``
+        is None) and degenerate splits fall back to it outright.
+
+        ``runner`` fans blocks across a
+        :class:`~repro.sim.parallel.ParallelRunner` pool (workers
+        rebuild the engine from the pickled automaton); without one the
+        blocks run in-process — ``interleave=True`` drives them as lanes
+        of one batched pass sharing this engine's step cache,
+        ``interleave=False`` replays them sequentially.
+        """
+        vectors = _normalize_stream(self.automaton, stream)
+        if recorder is None:
+            recorder = ReportRecorder(position_limit=position_limit)
+        shards = max(1, min(int(shards), len(vectors)))
+        depth = self.automaton.depth_bound()
+        if shards <= 1 or depth is None:
+            return self.run(vectors, recorder)
+        spans = _shard_spans(len(vectors), shards)
+        blocks = [(vectors[max(0, start - depth):end],
+                   max(0, start - depth), start)
+                  for start, end in spans]
+        if OBS.active:
+            arity = self.automaton.arity
+            overlap = OBS.instruments.shard_overlap_bytes
+            for _, warm_start, start in blocks[1:]:
+                overlap.observe((start - warm_start) * arity)
+        with trace_span("engine.run_sharded", engine="bitset",
+                        automaton=self.automaton.name, shards=shards,
+                        depth_bound=depth, cycles=len(vectors)):
+            parts, histories = self._run_shard_blocks(
+                blocks, recorder, runner, interleave)
+        for part in parts:
+            recorder.absorb(part)
+        self.reset()
+        if histories is not None:
+            stitched = self.active_count_history
+            for history in histories:
+                stitched.extend(history)
+        return recorder
+
+    def _run_shard_blocks(self, blocks, recorder, runner, interleave):
+        """Execute shard blocks; returns (part recorders, histories)."""
+        keep_history = self._history_limit != 0
+        if runner is not None and runner.workers > 1:
+            jobs = [(self.automaton, self.kernel, self._step_cache_limit,
+                     block_vectors, start_cycle, record_from,
+                     recorder.keep_events, recorder.position_limit,
+                     keep_history)
+                    for block_vectors, start_cycle, record_from in blocks]
+            outcomes = runner.map(_shard_job, jobs)
+            parts = [ReportRecorder.from_payload(payload)
+                     for payload, _ in outcomes]
+            histories = ([history for _, history in outcomes]
+                         if keep_history else None)
+            return parts, histories
+        parts = [ReportRecorder(keep_events=recorder.keep_events,
+                                position_limit=recorder.position_limit)
+                 for _ in blocks]
+        histories = [[] for _ in blocks] if keep_history else None
+        lane_vectors = [block_vectors for block_vectors, _, _ in blocks]
+        start_cycles = [start_cycle for _, start_cycle, _ in blocks]
+        record_from = [record for _, _, record in blocks]
+        if interleave:
+            self._execute_lanes(lane_vectors, parts, "lanes",
+                                start_cycles=start_cycles,
+                                record_from=record_from,
+                                histories=histories)
+        else:
+            for index in range(len(blocks)):
+                self._execute_lanes(
+                    [lane_vectors[index]], [parts[index]], "lanes",
+                    start_cycles=[start_cycles[index]],
+                    record_from=[record_from[index]],
+                    histories=[histories[index]] if histories else None)
+        return parts, histories
 
 
 class NaiveEngine:
@@ -467,6 +770,34 @@ class NaiveEngine:
         for vector in _normalize_stream(self.automaton, stream):
             self.step(vector, recorder)
         return recorder
+
+
+def _shard_spans(total, shards):
+    """Near-equal ``[start, end)`` block boundaries covering ``total``."""
+    return [(index * total // shards, (index + 1) * total // shards)
+            for index in range(shards)]
+
+
+def _shard_job(job):
+    """Replay one shard block in a pool worker.
+
+    Module-level so :class:`~repro.sim.parallel.ParallelRunner` can
+    pickle it; the worker rebuilds a private engine from the shipped
+    automaton (step-cache state does not cross processes).  Returns
+    ``(recorder_payload, history_list)``.
+    """
+    (automaton, kernel, step_cache, vectors, start_cycle, record_from,
+     keep_events, position_limit, keep_history) = job
+    engine = BitsetEngine(automaton, kernel=kernel, step_cache=step_cache,
+                          history_limit=0)
+    part = ReportRecorder(keep_events=keep_events,
+                          position_limit=position_limit)
+    history = [] if keep_history else None
+    engine._execute_lanes(
+        [vectors], [part], "lanes",
+        start_cycles=[start_cycle], record_from=[record_from],
+        histories=[history] if keep_history else None)
+    return part.to_payload(), history
 
 
 def _normalize_stream(automaton, stream):

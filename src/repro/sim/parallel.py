@@ -75,16 +75,27 @@ class ParallelRunner:
         "one worker per CPU core".
     chunksize:
         Forwarded to ``ProcessPoolExecutor.map``; raise it for many
-        tiny jobs to amortize IPC.
+        tiny jobs to amortize IPC.  ``None`` (the default) picks
+        ``max(1, jobs // (4 * workers))`` per map call — about four
+        chunks per worker, enough slack for the pool to rebalance
+        uneven jobs while still batching tiny ones.
     """
 
-    def __init__(self, workers=1, chunksize=1):
+    def __init__(self, workers=1, chunksize=None):
         if workers is None:
             workers = 1
         if workers < 0:
             raise SimulationError("workers must be >= 0 (0 = all cores)")
+        if chunksize is not None and chunksize < 1:
+            raise SimulationError("chunksize must be >= 1 (None = auto)")
         self.workers = default_workers() if workers == 0 else workers
         self.chunksize = chunksize
+
+    def _resolve_chunksize(self, jobs, pool_workers):
+        """The explicit chunksize, or the auto heuristic for this map."""
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, jobs // (4 * pool_workers))
 
     def map(self, func, jobs):
         """``[func(job) for job in jobs]``, possibly across processes.
@@ -104,8 +115,9 @@ class ParallelRunner:
             from ..transform.cache import get_cache
             cache_directory = get_cache().directory
             artifact_directory = get_store().directory
+            chunksize = self._resolve_chunksize(len(jobs), pool_workers)
             with trace_span("parallel.map", workers=pool_workers,
-                            jobs=len(jobs)) as span:
+                            jobs=len(jobs), chunksize=chunksize) as span:
                 capture = OBS.active
                 try:
                     with ProcessPoolExecutor(
@@ -119,13 +131,13 @@ class ParallelRunner:
                                 capture_spans=OBS.trace is not None)
                             outcomes = list(pool.map(
                                 fleet.run_observed_job, payloads,
-                                chunksize=self.chunksize))
+                                chunksize=chunksize))
                             results = [result for result, _ in outcomes]
                             fleet.merge_envelopes(
                                 envelope for _, envelope in outcomes)
                         else:
                             results = list(pool.map(
-                                func, jobs, chunksize=self.chunksize))
+                                func, jobs, chunksize=chunksize))
                     mode = "process"
                 except _FALLBACK_ERRORS:
                     results = None  # degrade to the serial path below
@@ -158,6 +170,6 @@ class ParallelRunner:
         instruments.parallel_workers.set(workers)
 
 
-def parallel_map(func, jobs, workers=1, chunksize=1):
+def parallel_map(func, jobs, workers=1, chunksize=None):
     """One-shot convenience wrapper around :class:`ParallelRunner`."""
     return ParallelRunner(workers=workers, chunksize=chunksize).map(func, jobs)

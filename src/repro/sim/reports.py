@@ -100,6 +100,24 @@ class ReportRecorder:
         if self.keep_events:
             self.events.append(ReportEvent(position, cycle, state_id, report_code))
 
+    def absorb(self, other):
+        """Fold another recorder's events and aggregates into this one.
+
+        Events and per-cycle counts are appended in ``other``'s own
+        order, so stitching shard recorders in block order reproduces
+        the serial run's recorder exactly (the differential suite pins
+        payload-level identity).  ``other``'s events must already
+        respect this recorder's ``position_limit`` — shard executions
+        build their block recorders with the target's parameters.
+        """
+        self.total_reports += other.total_reports
+        per_cycle = self.reports_per_cycle
+        for cycle, count in other.reports_per_cycle.items():
+            per_cycle[cycle] += count
+        if self.keep_events:
+            self.events.extend(other.events)
+        return self
+
     # ------------------------------------------------------------------
     @property
     def report_cycles(self):
