@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-check repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-prefilter bench-check repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,6 +32,11 @@ bench-device:
 # (speedups are scale-sensitive and gate against the committed baseline).
 bench-batch:
 	$(PYTHON) scripts/bench_batch.py --scale 0.01 --out BENCH_batch.json
+
+# Prefilter match-rate sweep (gated vs ungated kernels); fixed scale for
+# the same reason.
+bench-prefilter:
+	$(PYTHON) scripts/bench_prefilter.py --scale 0.01 --out BENCH_prefilter.json
 
 # Perf-regression gate: quick fresh runs of every suite with a committed
 # BENCH_*.json baseline, nonzero exit when speedups regress.

@@ -1,0 +1,69 @@
+"""Tier-2 smoke: the prefilter benchmark payload validates its schema.
+
+Mirrors ``make bench-prefilter`` at a tiny scale so drift in the
+``BENCH_prefilter.json`` trajectory format fails fast, and pins the
+headline acceptance figure on the committed baseline: the gated engine
+path reaches a 5x geomean streams/sec on clean (zero-density) input.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_prefilter  # noqa: E402
+
+BASELINE = (pathlib.Path(__file__).resolve().parent.parent
+            / "BENCH_prefilter.json")
+
+
+def test_bench_prefilter_payload_schema(bench_scale, tmp_path):
+    out = tmp_path / "BENCH_prefilter.json"
+    code = bench_prefilter.main([
+        "--scale", str(min(bench_scale, 0.005)),
+        "--repeats", "1",
+        "--workloads", "ClamAV", "ExactMatch",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_prefilter.validate_payload(payload)
+    assert [row["name"] for row in payload["workloads"]] == [
+        "ClamAV", "ExactMatch"]
+    metrics = bench_prefilter.extract_metrics(payload)
+    bands = bench_prefilter.extract_bands(payload)
+    assert set(bands) == set(metrics)
+    assert "engine:ClamAV:0.0" in metrics
+    assert "device:ClamAV:0.0" in metrics
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_prefilter.validate_payload({"schema": "something-else"})
+    payload = bench_prefilter.run_suite(scale=0.005, repeats=1,
+                                        workloads=("ExactMatch",))
+    bench_prefilter.validate_payload(payload)
+    broken = json.loads(json.dumps(payload))
+    del broken["workloads"][0]["densities"][repr(0.0)]["engine_speedup"]
+    with pytest.raises(ValueError):
+        bench_prefilter.validate_payload(broken)
+
+
+def test_unfilterable_workload_is_rejected():
+    with pytest.raises(ValueError, match="unfilterable"):
+        bench_prefilter.bench_workload("Snort", 0.005, 0, 1)
+
+
+def test_committed_baseline_meets_acceptance():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    bench_prefilter.validate_payload(payload)
+    # The headline claim: gating pays >= 5x geomean on clean streams.
+    assert payload["clean_engine_geomean_speedup"] >= 5.0
+    # Every row's sweep must exhibit the documented crossover shape:
+    # clean-stream win, and a density where gating stops paying.
+    for row in payload["workloads"]:
+        assert row["clean_engine_speedup"] > 1.0
+        assert row["crossover_density"] is not None

@@ -1,0 +1,350 @@
+"""Prefilter match-rate sweep -> ``BENCH_prefilter.json`` trajectory.
+
+Usage:  python scripts/bench_prefilter.py [--scale S] [--repeats N]
+                                          [--out PATH]
+
+For each filterable workload the suite builds a family of synthetic
+streams of the workload's input length: a clean seeded-random stream
+with literal occurrences planted at a swept *density* (occurrences per
+byte, 0 = fully clean).  At each density it measures **streams/sec**
+through both kernels, gated vs ungated:
+
+- ``engine``  — :func:`repro.prefilter.gated_simulation` against a
+  plain :class:`~repro.sim.BitsetEngine` run;
+- ``device``  — :func:`repro.prefilter.gated_device_run` against
+  ``SunderDevice.run_batch`` on one configured packed device.
+
+Every measured pair is also asserted bit-exact (same report events),
+so the suite doubles as an end-to-end differential check.  The row's
+``crossover_density`` is the first swept density where the gated
+engine path stops winning — the "when prefiltering loses" point
+documented in docs/performance.md.
+
+The payload schema below is pinned by ``validate_payload`` and the
+tier-2 smoke ``benchmarks/test_bench_prefilter.py``; the committed
+``BENCH_prefilter.json`` feeds the ``repro bench`` regression gate.
+
+Run via ``make bench-prefilter``.
+"""
+
+import argparse
+import contextlib
+import gc
+import json
+import math
+import pathlib
+import random
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import SunderConfig, SunderDevice  # noqa: E402
+from repro.prefilter import (build_prefilter, gated_device_run,  # noqa: E402
+                             gated_simulation)
+from repro.sim import BitsetEngine, ReportRecorder, stream_for  # noqa: E402
+from repro.transform import to_rate  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+#: Schema identifier written into (and required from) every payload.
+SCHEMA = "repro-bench-prefilter"
+SCHEMA_VERSION = 1
+
+#: Default workload subset: every calibrated *filterable* generator.
+DEFAULT_WORKLOADS = ("ClamAV", "ExactMatch")
+
+#: Planted literal occurrences per stream byte (0 = clean stream).
+DENSITIES = (0.0, 1e-3, 1e-2, 1e-1)
+
+#: Processing rate of the device under test (the paper's headline rate).
+RATE = 4
+
+#: ``repro bench run --quick`` overrides: the baseline's scale (speedups
+#: are scale-sensitive) with one workload.  Three repeats stay — the
+#: clean gated run is sub-millisecond, so a best-of-1 ratio is noise.
+QUICK_PARAMS = {"scale": 0.01, "repeats": 3, "workloads": ("ClamAV",)}
+
+
+@contextlib.contextmanager
+def _gc_quiesced():
+    """Collect, then keep the collector off for the timed region.
+
+    The gated path runs in single-digit milliseconds; when this suite
+    runs after others in one gate process (``repro bench check``) the
+    grown heap makes a stray gen-2 collection inside that window cost
+    more than the measurement itself.
+    """
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def _planted_stream(literals, length, density, seed):
+    """Seeded random bytes with literal occurrences planted at ``density``.
+
+    The random filler avoids the literals' first bytes so the intended
+    occurrences are the only ones (up to vanishing coincidence for
+    multi-byte literals), keeping the match rate equal to ``density``.
+    """
+    rng = random.Random(seed)
+    first_bytes = {literal[0] for literal in literals}
+    alphabet = [value for value in range(256) if value not in first_bytes]
+    data = bytearray(rng.choice(alphabet) for _ in range(length))
+    count = int(length * density)
+    if count:
+        longest = max(len(literal) for literal in literals)
+        stride = max(longest, length // count)
+        for index in range(count):
+            literal = literals[index % len(literals)]
+            position = (index * stride) % max(1, length - longest)
+            data[position:position + len(literal)] = literal
+    return bytes(data)
+
+
+def _best_and_band(measure, repeats):
+    """(best value, [worst, best] band) over ``repeats`` calls."""
+    best = 0.0
+    worst = math.inf
+    for _ in range(repeats):
+        value = measure()
+        best = max(best, value)
+        worst = min(worst, value)
+    return best, [worst, best]
+
+
+def _engine_pair_seconds(automaton, prefilter, data):
+    """(ungated seconds, gated seconds, reports) for one engine stream.
+
+    Engine construction is inside both timed regions: the gated path's
+    pitch is that a cold gate never *builds* the engine, so the anchor
+    pays construction per stream exactly like a stream-at-a-time
+    service would.
+    """
+    with _gc_quiesced():
+        start = time.perf_counter()
+        vectors, _ = stream_for(automaton, data)
+        base = ReportRecorder(keep_events=True)
+        BitsetEngine(automaton).run(vectors, base)
+        ungated = time.perf_counter() - start
+
+        start = time.perf_counter()
+        recorder = ReportRecorder(keep_events=True)
+        gated_simulation(automaton, data, recorder, prefilter=prefilter)
+        gated = time.perf_counter() - start
+
+    if recorder.events != base.events:
+        raise AssertionError("gated engine run diverged from ungated")
+    return ungated, gated, base.total_reports
+
+
+def _device_pair_seconds(device, strided, source, prefilter, data):
+    """(ungated seconds, gated seconds) for one device stream."""
+    with _gc_quiesced():
+        start = time.perf_counter()
+        vectors, limit = stream_for(strided, data)
+        base = device.run_batch([vectors], position_limit=limit)[0]
+        ungated = time.perf_counter() - start
+
+        start = time.perf_counter()
+        recorder = gated_device_run(device, strided, data, source=source,
+                                    prefilter=prefilter)
+        gated = time.perf_counter() - start
+
+    if recorder.events != base.events:
+        raise AssertionError("gated device run diverged from ungated")
+    return ungated, gated
+
+
+def bench_workload(name, scale, seed, repeats):
+    """Gated-vs-ungated throughput across the density sweep."""
+    instance = generate(name, scale=scale, seed=seed)
+    automaton = instance.automaton
+    prefilter = build_prefilter(automaton)
+    if not prefilter.filterable:
+        raise ValueError("workload %r is unfilterable (%s); the sweep "
+                         "needs literal-bearing rulesets"
+                         % (name, prefilter.extraction.reason))
+    literals = list(prefilter.literals)
+    length = len(instance.input_bytes)
+
+    strided = to_rate(automaton, RATE)
+    device = SunderDevice(SunderConfig(rate_nibbles=RATE, report_bits=32),
+                          fidelity="packed")
+    device.configure(strided)
+
+    densities = {}
+    for density in DENSITIES:
+        data = _planted_stream(literals, length, density, seed)
+
+        def engine_speedup():
+            ungated, gated, _ = _engine_pair_seconds(automaton, prefilter,
+                                                     data)
+            return ungated / gated
+
+        def device_speedup():
+            ungated, gated = _device_pair_seconds(device, strided,
+                                                  automaton, prefilter,
+                                                  data)
+            return ungated / gated
+
+        engine_best, engine_band = _best_and_band(engine_speedup, repeats)
+        device_best, device_band = _best_and_band(device_speedup, repeats)
+        _, _, reports = _engine_pair_seconds(automaton, prefilter, data)
+        densities[repr(density)] = {
+            "engine_speedup": engine_best,
+            "engine_band": engine_band,
+            "device_speedup": device_best,
+            "device_band": device_band,
+            "reports": reports,
+        }
+
+    crossover = None
+    for density in DENSITIES:
+        if densities[repr(density)]["engine_speedup"] < 1.0:
+            crossover = density
+            break
+
+    return {
+        "name": name,
+        "states": len(automaton),
+        "stream_bytes": length,
+        "literals": len(literals),
+        "densities": densities,
+        "clean_engine_speedup": densities[repr(0.0)]["engine_speedup"],
+        "clean_device_speedup": densities[repr(0.0)]["device_speedup"],
+        "crossover_density": crossover,
+    }
+
+
+def run_suite(scale=0.01, seed=0, repeats=3, workloads=DEFAULT_WORKLOADS):
+    """Measure everything; returns the BENCH_prefilter payload dict."""
+    rows = [bench_workload(name, scale, seed, repeats)
+            for name in workloads]
+    speedups = [row["clean_engine_speedup"] for row in rows]
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return {
+        "version": SCHEMA_VERSION,
+        "schema": SCHEMA,
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "workloads": rows,
+        "clean_engine_geomean_speedup": geomean,
+    }
+
+
+def extract_metrics(payload):
+    """Scale-insensitive figures of merit for the regression gate.
+
+    Speedups are self-normalized within one run (gated path vs in-run
+    ungated anchor), so they compare across machines.
+    """
+    metrics = {}
+    for row in payload["workloads"]:
+        for density, entry in row["densities"].items():
+            metrics["engine:%s:%s" % (row["name"], density)] = \
+                entry["engine_speedup"]
+            metrics["device:%s:%s" % (row["name"], density)] = \
+                entry["device_speedup"]
+    return metrics
+
+
+def extract_bands(payload):
+    """Per-metric ``[lo, hi]`` noise bands from the repeat extremes."""
+    bands = {}
+    for row in payload["workloads"]:
+        for density, entry in row["densities"].items():
+            bands["engine:%s:%s" % (row["name"], density)] = \
+                entry["engine_band"]
+            bands["device:%s:%s" % (row["name"], density)] = \
+                entry["device_band"]
+    return bands
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("BENCH_prefilter payload invalid: %s" % message)
+
+
+def validate_payload(payload):
+    """Schema check for the trajectory file; raises ValueError on drift.
+
+    Returns the payload unchanged so callers can chain.
+    """
+    _require(isinstance(payload, dict), "expected an object")
+    _require(payload.get("schema") == SCHEMA, "schema != %r" % SCHEMA)
+    _require(payload.get("version") == SCHEMA_VERSION,
+             "version != %d" % SCHEMA_VERSION)
+    for field in ("scale", "seed", "repeats",
+                  "clean_engine_geomean_speedup"):
+        _require(isinstance(payload.get(field), (int, float)),
+                 "%s must be a number" % field)
+    rows = payload.get("workloads")
+    _require(isinstance(rows, list) and rows, "workloads must be non-empty")
+    for row in rows:
+        _require(isinstance(row.get("name"), str), "workload name")
+        for field in ("states", "stream_bytes", "literals"):
+            _require(isinstance(row.get(field), int) and row[field] > 0,
+                     "%s must be a positive int" % field)
+        densities = row.get("densities")
+        _require(isinstance(densities, dict) and densities,
+                 "densities must be non-empty")
+        for density, entry in densities.items():
+            for field in ("engine_speedup", "device_speedup"):
+                _require(entry.get(field, 0) > 0,
+                         "densities[%s].%s" % (density, field))
+            for field in ("engine_band", "device_band"):
+                band = entry.get(field)
+                _require(isinstance(band, list) and len(band) == 2
+                         and 0 < band[0] <= band[1],
+                         "densities[%s].%s" % (density, field))
+            _require(isinstance(entry.get("reports"), int),
+                     "densities[%s].reports" % density)
+        for field in ("clean_engine_speedup", "clean_device_speedup"):
+            _require(row.get(field, 0) > 0, field)
+        crossover = row.get("crossover_density")
+        _require(crossover is None
+                 or isinstance(crossover, (int, float)),
+                 "crossover_density must be a number or null")
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--out", default="BENCH_prefilter.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scale=args.scale, seed=args.seed,
+                        repeats=args.repeats, workloads=args.workloads)
+    validate_payload(payload)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for row in payload["workloads"]:
+        sweep = "  ".join(
+            "d=%s %.2fx/%.2fx" % (density, entry["engine_speedup"],
+                                  entry["device_speedup"])
+            for density, entry in sorted(
+                row["densities"].items(), key=lambda kv: float(kv[0])))
+        crossover = ("crossover at d=%s" % row["crossover_density"]
+                     if row["crossover_density"] is not None
+                     else "no crossover in sweep")
+        print("%-10s (%d literals)  %s  [%s]" % (
+            row["name"], row["literals"], sweep, crossover))
+    print("clean-stream engine geomean speedup: %.2fx"
+          % payload["clean_engine_geomean_speedup"])
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -78,6 +78,26 @@ REQUIRED_SPANS = (
     "engine.run",
     "reporting.drain_model",
 )
+#: Prefilter instruments pinned by the gated mini-run below.
+PREFILTER_REQUIRED_METRICS = (
+    "repro_prefilter_builds_total",
+    "repro_prefilter_build_seconds",
+    "repro_prefilter_literals",
+    "repro_prefilter_scan_bytes_total",
+    "repro_prefilter_scan_seconds",
+    "repro_prefilter_candidate_windows_total",
+    "repro_prefilter_verified_windows_total",
+    "repro_prefilter_gated_cycles_total",
+    "repro_prefilter_skipped_cycles_total",
+    "repro_prefilter_bypass_total",
+    "repro_hotcold_state_savings",
+)
+PREFILTER_REQUIRED_SPANS = (
+    "prefilter.build",
+    "prefilter.scan",
+    "prefilter.hotcold",
+    "engine.run_windows",
+)
 
 
 def fail(message):
@@ -106,6 +126,49 @@ def check_batch_shard_metrics():
              if not by_name[name]["samples"]]
     if empty:
         return fail("batch/shard metrics recorded no samples: %s" % empty)
+    return 0
+
+
+def check_prefilter_metrics():
+    """Observed gated mini-run; returns 0 or fail().
+
+    Drives a filterable ruleset over a stream with one planted literal
+    (build miss + scan + gated windows), an unfilterable ruleset (the
+    bypass counter), and a hot/cold split — requiring every prefilter
+    instrument to record samples and the prefilter spans to be emitted.
+    """
+    from repro.prefilter import build_prefilter, gated_simulation
+    from repro.sim import ReportRecorder
+
+    transform_cache.configure()  # fresh cache so the build is a miss
+    filterable = compile_ruleset(["needle", "abc[0-9]"])
+    unfilterable = compile_ruleset(["a.*b"])
+    data = b"x" * 400 + b"needle" + b"y" * 400
+    registry = obs.MetricsRegistry()
+    trace = obs.TraceCollector()
+    with obs.collecting(registry=registry, trace=trace):
+        recorder = ReportRecorder(keep_events=True)
+        gated_simulation(filterable, data, recorder, hotcold_coverage=0.9)
+        gated_simulation(unfilterable, data, ReportRecorder())
+    if recorder.total_reports != 1:
+        return fail("prefilter mini-run expected 1 report, saw %d"
+                    % recorder.total_reports)
+    snapshot = registry.snapshot()
+    validate_snapshot(snapshot)
+    by_name = {metric["name"]: metric for metric in snapshot["metrics"]}
+    missing = [name for name in PREFILTER_REQUIRED_METRICS
+               if name not in by_name]
+    if missing:
+        return fail("prefilter mini-run lacks metrics: %s" % missing)
+    empty = [name for name in PREFILTER_REQUIRED_METRICS
+             if not by_name[name]["samples"]]
+    if empty:
+        return fail("prefilter metrics recorded no samples: %s" % empty)
+    span_names = {span.name for span in trace.spans}
+    missing_spans = [name for name in PREFILTER_REQUIRED_SPANS
+                     if name not in span_names]
+    if missing_spans:
+        return fail("prefilter mini-run lacks spans: %s" % missing_spans)
     return 0
 
 
@@ -165,6 +228,10 @@ def check(scale="0.002"):
                             % stage)
 
     code = check_batch_shard_metrics()
+    if code:
+        return code
+
+    code = check_prefilter_metrics()
     if code:
         return code
 

@@ -1,8 +1,8 @@
 """Unified benchmark envelope and perf-regression gate (``repro bench``).
 
-The five benchmark suites (``scripts/bench_{engine,transform,runtime,
-device,batch}.py``) each write their own versioned trajectory payload.  This
-module gives them one front door:
+The six benchmark suites (``scripts/bench_{engine,transform,runtime,
+device,batch,prefilter}.py``) each write their own versioned trajectory
+payload.  This module gives them one front door:
 
 - **run** — execute any subset of suites and wrap the per-suite payloads
   (still validated by each script's own ``validate_payload``) in a
@@ -45,7 +45,8 @@ SCHEMA = "repro-bench/v2"
 SCHEMA_VERSION = 2
 
 #: Every known suite, in the order run/compare/check process them.
-SUITE_NAMES = ("engine", "transform", "runtime", "device", "batch")
+SUITE_NAMES = ("engine", "transform", "runtime", "device", "batch",
+               "prefilter")
 
 #: Fail a suite when the geomean current/baseline ratio drops below this.
 DEFAULT_TOLERANCE = 0.75

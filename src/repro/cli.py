@@ -79,7 +79,8 @@ def cmd_compile(args):
 
 
 def cmd_match(args):
-    machine = to_rate(_build_ruleset(args.patterns), args.rate)
+    source = _build_ruleset(args.patterns)
+    machine = to_rate(source, args.rate)
     device = SunderDevice(SunderConfig(rate_nibbles=args.rate,
                                        report_bits=args.report_bits),
                           fidelity=args.device_fidelity)
@@ -89,13 +90,29 @@ def cmd_match(args):
     else:
         with open(args.file, "rb") as handle:
             data = handle.read()
-    vectors, limit = stream_for(machine, data)
-    result = device.run(vectors, position_limit=limit)
-    events = sorted(result.reports().events, key=lambda e: e.position)
     # Report positions are in the machine's sub-symbol units (nibbles for
     # the 4-bit machines every rate produces); derive the per-byte
     # divisor from the configured geometry instead of hardcoding it.
     positions_per_byte = 8 // machine.bits
+    if args.prefilter:
+        from .prefilter import build_prefilter, gated_device_run
+        prefilter = build_prefilter(source)
+        recorder = gated_device_run(device, machine, data, source=source,
+                                    prefilter=prefilter,
+                                    hotcold_coverage=args.hotcold_coverage)
+        events = sorted(recorder.events, key=lambda e: e.position)
+        for event in events:
+            print("%d\t%s" % (event.position // positions_per_byte,
+                              event.report_code))
+        print("-- %d matches (prefilter: %s)" % (
+            len(events),
+            "gated, %d literals" % len(prefilter.literals)
+            if prefilter.filterable else "bypassed, unfilterable"),
+            file=sys.stderr)
+        return 0
+    vectors, limit = stream_for(machine, data)
+    result = device.run(vectors, position_limit=limit)
+    events = sorted(result.reports().events, key=lambda e: e.position)
     for event in events:
         print("%d\t%s" % (event.position // positions_per_byte,
                           event.report_code))
@@ -127,6 +144,8 @@ _PARALLEL_EXPERIMENTS = ("table1", "table3", "table4",
 _FIDELITY_EXPERIMENTS = ("table4", "figure10")
 #: Experiments whose simulate stages accept --batch/--shards.
 _BATCH_EXPERIMENTS = ("table1", "table4")
+#: Experiments whose simulate stages accept --prefilter/--hotcold-coverage.
+_PREFILTER_EXPERIMENTS = ("table1", "table4")
 
 
 def cmd_experiment(args):
@@ -146,6 +165,13 @@ def cmd_experiment(args):
         raise SystemExit(
             "--batch/--shards apply only to: %s"
             % ", ".join(_BATCH_EXPERIMENTS))
+    if args.name in _PREFILTER_EXPERIMENTS:
+        kwargs["prefilter"] = args.prefilter
+        kwargs["hotcold"] = args.hotcold_coverage
+    elif args.prefilter or args.hotcold_coverage is not None:
+        raise SystemExit(
+            "--prefilter/--hotcold-coverage apply only to: %s"
+            % ", ".join(_PREFILTER_EXPERIMENTS))
     module.main(**kwargs)
     return 0
 
@@ -336,6 +362,18 @@ def _run_observed(func, args, metrics_out, trace_out, summarize):
     return code
 
 
+#: Root-parser flags (and their defaults) that ``profile`` forwards to
+#: the wrapped command: the wrapped argv starts at the subcommand, so
+#: flags given before ``profile`` only exist on the outer namespace.
+_ROOT_FLAG_DEFAULTS = {
+    "transform_cache": None,
+    "artifact_dir": None,
+    "device_fidelity": "auto",
+    "prefilter": False,
+    "hotcold_coverage": None,
+}
+
+
 def cmd_profile(args):
     """Re-parse the wrapped command and run it under a collector."""
     argv = list(args.argv)
@@ -349,6 +387,9 @@ def cmd_profile(args):
     if inner.func is cmd_profile:
         print("error: profile cannot wrap itself", file=sys.stderr)
         return 2
+    for name, default in _ROOT_FLAG_DEFAULTS.items():
+        if getattr(inner, name) == default:
+            setattr(inner, name, getattr(args, name))
     _apply_store_flags(inner)
     return _run_observed(
         inner.func, inner,
@@ -383,6 +424,13 @@ def _add_observability_flags(parser):
                         help="collect spans and write a Chrome trace file")
 
 
+def _shard_count(text):
+    """argparse type for ``--shards``: a positive int or ``auto``."""
+    if text == "auto":
+        return text
+    return int(text)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -403,6 +451,15 @@ def build_parser():
         help="SunderDevice execution path: 'packed' compiles the "
              "programmed subarrays into integer bitmasks (fast), "
              "'literal' keeps the bit-level oracle; 'auto' picks packed")
+    parser.add_argument(
+        "--prefilter", action="store_true",
+        help="gate execution behind the two-stage literal prefilter "
+             "(DFC-style direct filter; bit-exact reports, unfilterable "
+             "rulesets bypass — see docs/performance.md)")
+    parser.add_argument(
+        "--hotcold-coverage", type=float, default=None, metavar="FRAC",
+        help="with --prefilter, also record the hot/cold state split at "
+             "the given activity coverage (e.g. 0.9)")
     commands = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = commands.add_parser(
@@ -445,9 +502,10 @@ def build_parser():
         help="run the simulate stages as N interleaved lanes of one "
              "engine pass (bit-exact; table1/table4 only)")
     experiment_parser.add_argument(
-        "--shards", type=int, default=1, metavar="K",
+        "--shards", type=_shard_count, default=1, metavar="K",
         help="split each simulate stage's stream into K overlap-replayed "
-             "blocks (bit-exact; table1/table4 only)")
+             "blocks, or 'auto' to size by stream length with a serial "
+             "fallback below the threshold (bit-exact; table1/table4 only)")
     _add_observability_flags(experiment_parser)
     experiment_parser.set_defaults(func=cmd_experiment)
 

@@ -353,6 +353,73 @@ class PackedKernel:
         return lane_hits, lane_misses
 
     # ------------------------------------------------------------------
+    # Prefilter-gated window execution
+    # ------------------------------------------------------------------
+    def run_windows(self, lane_vectors, period, recorders, start_cycles,
+                    record_from):
+        """Replay windows of one stream at absolute cycle offsets.
+
+        Each lane is one replay window of the same normalized stream:
+        it starts from reset dynamic state (zero enables) at absolute
+        cycle ``start_cycles[lane]``, phases derive from the absolute
+        cycle so ``ALL_INPUT`` start-period boundaries line up with the
+        serial run, and reports before ``record_from[lane]`` are
+        suppressed — those cycles exist only to rebuild the enable
+        state (the shard-replay warm-up argument).  Reports decode
+        straight into the per-lane recorders via
+        :meth:`_batch_report_plan`, same as :meth:`run_batch`: the
+        reporting-region hardware model is bypassed and the kernel's
+        own streaming state is untouched.  Returns per-lane
+        ``(hits, misses)`` lists.
+        """
+        cache = self._cache
+        cache_limit = self._cache_limit
+        touch_floor = self._touch_floor
+        compute = self._compute
+        batch_plan = self._batch_report_plan
+        arity = self.arity
+        lanes = len(lane_vectors)
+        reset_enables = (0,) * len(self.pus)
+        lane_hits = [0] * lanes
+        lane_misses = [0] * lanes
+        for lane in range(lanes):
+            enables = reset_enables
+            start = start_cycles[lane]
+            suppress_before = record_from[lane]
+            record = recorders[lane].record
+            for index, vector in enumerate(lane_vectors[lane]):
+                cycle = start + index
+                phase = 2 if cycle == 0 else (
+                    1 if cycle % period == 0 else 0)
+                key = (enables, vector, phase)
+                value = cache.get(key)
+                if value is None:
+                    lane_misses[lane] += 1
+                    value = compute(key)
+                    if cache_limit:
+                        cache[key] = value
+                        if len(cache) > cache_limit:
+                            del cache[next(iter(cache))]
+                else:
+                    lane_hits[lane] += 1
+                    if len(cache) > touch_floor:
+                        del cache[key]
+                        cache[key] = value
+                enables = value[0]
+                if cycle >= suppress_before:
+                    plan = value[2]
+                    if plan:
+                        base = cycle * arity
+                        for pu_index, report, _ in plan:
+                            for offset, state_id, code in batch_plan(
+                                    pu_index, report):
+                                record(base + offset, cycle, state_id, code)
+                self.pus_skipped += value[5]
+        self.cache_hits += sum(lane_hits)
+        self.cache_misses += sum(lane_misses)
+        return lane_hits, lane_misses
+
+    # ------------------------------------------------------------------
     # Synchronization with the literal model
     # ------------------------------------------------------------------
     def sync(self):

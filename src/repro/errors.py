@@ -67,3 +67,7 @@ class StageGraphError(ReproError):
 
 class BenchError(ReproError):
     """A benchmark envelope or baseline could not be run or compared."""
+
+
+class PrefilterError(ReproError):
+    """The literal prefilter was built or driven inconsistently."""

@@ -44,29 +44,39 @@ def select_names(names, experiment):
     return chosen
 
 
-def simulation_params(base, batch=1, shards=1):
+def simulation_params(base, batch=1, shards=1, prefilter=False,
+                      hotcold=None):
     """Simulate-stage params with the execution strategy salted in.
 
-    ``batch``/``shards`` join the params only when > 1, so plain serial
-    runs keep their pre-existing artifact keys (warm stores stay warm)
-    while batched/sharded runs are content-addressed separately.
+    ``batch``/``shards``/``prefilter``/``hotcold`` join the params only
+    when enabled, so plain serial runs keep their pre-existing artifact
+    keys (warm stores stay warm) while batched/sharded/gated runs are
+    content-addressed separately.
     """
     params = dict(base)
     if batch and int(batch) > 1:
         params["batch"] = int(batch)
-    if shards and int(shards) > 1:
+    if shards == "auto":
+        params["shards"] = "auto"
+    elif shards and int(shards) > 1:
         params["shards"] = int(shards)
+    if prefilter:
+        params["prefilter"] = True
+        if hotcold is not None:
+            params["hotcold"] = float(hotcold)
     return params
 
 
-def define(graph, scale, seed, names, batch=1, shards=1):
+def define(graph, scale, seed, names, batch=1, shards=1, prefilter=False,
+           hotcold=None):
     """Declare Table 1's stages; returns the per-benchmark row tasks."""
     rows = []
     for name in names:
         gen = graph.task("generate",
                          {"name": name, "scale": scale, "seed": seed})
         sim = graph.task("simulate8",
-                         simulation_params({"name": name}, batch, shards),
+                         simulation_params({"name": name}, batch, shards,
+                                           prefilter, hotcold),
                          deps=[gen])
         rows.append(graph.task("table1_row", {"name": name},
                                deps=[gen, sim]))
@@ -74,20 +84,25 @@ def define(graph, scale, seed, names, batch=1, shards=1):
 
 
 def run(scale=0.02, seed=0, names=None, workers=1, runtime=None,
-        batch=1, shards=1):
+        batch=1, shards=1, prefilter=False, hotcold=None):
     """Simulate the suite; returns the list of result rows.
 
     ``workers`` fans the stage executions out across a process pool
     (0 = all cores); rows come back in suite order regardless.  Pass a
     shared ``runtime`` to deduplicate stages with other experiments.
     ``batch``/``shards`` pick the engine execution strategy for the
-    simulate stages (bit-exact either way; see docs/performance.md).
+    simulate stages (bit-exact either way; see docs/performance.md);
+    ``prefilter`` gates them behind the two-stage literal prefilter
+    (reports stay bit-exact, active-state statistics are skipped on
+    gated runs), and ``hotcold`` additionally records the hot/cold
+    state split at the given activity coverage.
     """
     chosen = select_names(names, "table1.run")
     if runtime is None:
         runtime = Runtime(workers=workers)
     graph = StageGraph()
-    tasks = define(graph, scale, seed, chosen, batch=batch, shards=shards)
+    tasks = define(graph, scale, seed, chosen, batch=batch, shards=shards,
+                   prefilter=prefilter, hotcold=hotcold)
     results = runtime.execute(graph, targets=tasks)
     return [results[task] for task in tasks]
 
@@ -98,9 +113,11 @@ def render(rows):
 
 
 @instrumented_experiment("table1")
-def main(scale=0.02, seed=0, workers=1, batch=1, shards=1):
+def main(scale=0.02, seed=0, workers=1, batch=1, shards=1, prefilter=False,
+         hotcold=None):
     """Run and print (entry point used by the benchmark harness)."""
     rows = run(scale=scale, seed=seed, workers=workers,
-               batch=batch, shards=shards)
+               batch=batch, shards=shards, prefilter=prefilter,
+               hotcold=hotcold)
     print(render(rows))
     return rows

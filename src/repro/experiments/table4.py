@@ -105,27 +105,31 @@ def evaluate_benchmark(instance, rate=4, config=None, scale=1.0,
 
 
 def define(graph, scale, seed, names, rate, fidelity="auto",
-           batch=1, shards=1):
+           batch=1, shards=1, prefilter=False, hotcold=None):
     """Declare Table 4's stages; returns the per-benchmark row tasks.
 
     ``fidelity`` salts the device-bearing ``place``/``report_drain``
     stage params so packed/literal runs never alias (the knob is
     otherwise inert here — the replays run on cached report profiles).
     ``batch``/``shards`` select the simulate stages' engine strategy and
-    salt their keys the same way (only when > 1).
+    salt their keys the same way (only when > 1); ``prefilter``/
+    ``hotcold`` gate them behind the literal prefilter (only when
+    enabled).
     """
     rows = []
     for name in names:
         gen = graph.task("generate",
                          {"name": name, "scale": scale, "seed": seed})
         sim8 = graph.task("simulate8",
-                          simulation_params({"name": name}, batch, shards),
+                          simulation_params({"name": name}, batch, shards,
+                                            prefilter, hotcold),
                           deps=[gen])
         strided = graph.task("to_rate", {"name": name, "rate": rate},
                              deps=[gen])
         sim_strided = graph.task(
             "simulate_strided",
-            simulation_params({"name": name, "rate": rate}, batch, shards),
+            simulation_params({"name": name, "rate": rate}, batch, shards,
+                              prefilter, hotcold),
             deps=[gen, strided])
         placed = graph.task("place",
                             {"name": name, "rate": rate,
@@ -140,21 +144,23 @@ def define(graph, scale, seed, names, rate, fidelity="auto",
 
 
 def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None,
-        fidelity="auto", batch=1, shards=1):
+        fidelity="auto", batch=1, shards=1, prefilter=False, hotcold=None):
     """Evaluate the suite; returns (rows, averages).
 
     ``workers`` fans the stage executions out across a process pool
     (0 = all cores); row order is the suite order regardless.  Pass a
     shared ``runtime`` to deduplicate stages with other experiments.
     ``batch``/``shards`` pick the engine execution strategy for the
-    simulate stages (bit-exact either way; see docs/performance.md).
+    simulate stages (bit-exact either way; see docs/performance.md);
+    ``prefilter``/``hotcold`` gate them behind the literal prefilter.
     """
     chosen = select_names(names, "table4.run")
     if runtime is None:
         runtime = Runtime(workers=workers)
     graph = StageGraph()
     tasks = define(graph, scale, seed, chosen, rate, fidelity=fidelity,
-                   batch=batch, shards=shards)
+                   batch=batch, shards=shards, prefilter=prefilter,
+                   hotcold=hotcold)
     results = runtime.execute(graph, targets=tasks)
     rows = [results[task] for task in tasks]
     averages = average_row(
@@ -174,9 +180,10 @@ def render(rows, averages):
 
 @instrumented_experiment("table4")
 def main(scale=0.01, seed=0, names=None, workers=1, fidelity="auto",
-         batch=1, shards=1):
+         batch=1, shards=1, prefilter=False, hotcold=None):
     """Run and print."""
     rows, averages = run(scale=scale, seed=seed, names=names, workers=workers,
-                         fidelity=fidelity, batch=batch, shards=shards)
+                         fidelity=fidelity, batch=batch, shards=shards,
+                         prefilter=prefilter, hotcold=hotcold)
     print(render(rows, averages))
     return rows, averages

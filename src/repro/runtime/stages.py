@@ -32,8 +32,9 @@ from ..core.perfmodel import (ReportingPerfModel, pu_fill_cycles_from_events,
 from ..errors import StageGraphError
 from ..hwmodel import area
 from ..obs import trace_span
+from ..prefilter import gated_simulation
 from ..sim.engine import BitsetEngine
-from ..sim.inputs import stream_for
+from ..sim.inputs import stream_for, stream_shape
 from ..sim.reports import ReportRecorder
 from ..sim.stats import static_statistics
 from ..transform import cache as transform_cache
@@ -159,7 +160,7 @@ def _run_simulation(engine, vectors, recorder, params):
     """
     shards = params.get("shards", 1)
     batch = params.get("batch", 1)
-    if shards > 1:
+    if shards == "auto" or shards > 1:
         engine.run_sharded(vectors, shards, recorder, interleave=False)
     elif batch > 1:
         engine.run_sharded(vectors, batch, recorder, interleave=True)
@@ -174,7 +175,23 @@ def _simulate8(params, instance):
 
     Records the full event stream (Table 4's AP replay needs it) and the
     active-state statistics (Table 1's dynamic columns need them).
+
+    ``prefilter=True`` routes the run through the two-stage literal
+    prefilter (:func:`repro.prefilter.gated_simulation`): reports stay
+    bit-exact, but active-state statistics are only kept when the gate
+    bypasses (a gated run skips most cycles).  The key is salted through
+    :func:`canonical` because the experiment layer adds the param only
+    when enabled, so gated and ungated artifacts never alias.
     """
+    if params.get("prefilter"):
+        recorder = ReportRecorder(keep_events=True)
+        engine, gated = gated_simulation(
+            instance.automaton, instance.input_bytes, recorder,
+            hotcold_coverage=params.get("hotcold"))
+        cycles, _ = stream_shape(instance.automaton, instance.input_bytes)
+        if engine is not None and not gated:
+            return SimRun.from_engine(engine, recorder, cycles)
+        return SimRun(recorder, cycles)
     engine = BitsetEngine(instance.automaton)
     recorder = ReportRecorder(keep_events=True)
     stream = list(instance.input_bytes)
@@ -194,7 +211,19 @@ def _to_rate(params, instance):
 
 @stage("simulate_strided", codec=SIMRUN_CODEC)
 def _simulate_strided(params, instance, strided):
-    """Functional simulation of the strided machine over the same input."""
+    """Functional simulation of the strided machine over the same input.
+
+    ``prefilter=True`` gates the run on literals extracted from the
+    8-bit *source* machine; windows are mapped onto the strided
+    machine's cycles (see :func:`repro.prefilter.gated_simulation`).
+    """
+    if params.get("prefilter"):
+        cycles, limit = stream_shape(strided, instance.input_bytes)
+        recorder = ReportRecorder(keep_events=True, position_limit=limit)
+        gated_simulation(strided, instance.input_bytes, recorder,
+                         source=instance.automaton,
+                         hotcold_coverage=params.get("hotcold"))
+        return SimRun(recorder, cycles)
     vectors, limit = stream_for(strided, instance.input_bytes)
     recorder = ReportRecorder(keep_events=True, position_limit=limit)
     _run_simulation(BitsetEngine(strided), vectors, recorder, params)

@@ -71,6 +71,17 @@ _KERNELS = ("auto", "sliced", "scan")
 #: ``"lanes"`` (see docs/performance.md).
 BATCH_LAYOUTS = ("auto", "lanes", "wide")
 
+#: ``run_sharded(shards="auto")`` falls back to the serial path below
+#: this stream length (in vector cycles): the documented pathological
+#: pool case (0.05-0.15x at scale 0.01, docs/performance.md) is exactly
+#: short streams, where per-shard warm-up replay and pool shipping
+#: dwarf the work being split.
+AUTO_SHARD_MIN_CYCLES = 1 << 16
+
+#: Shard count ``"auto"`` picks for in-process (no runner) sharding of
+#: streams above the threshold.
+AUTO_SHARD_DEFAULT = 4
+
 
 def _resolve_layout(batch_layout):
     if batch_layout not in BATCH_LAYOUTS:
@@ -648,13 +659,30 @@ class BitsetEngine:
         blocks run in-process — ``interleave=True`` drives them as lanes
         of one batched pass sharing this engine's step cache,
         ``interleave=False`` replays them sequentially.
+
+        ``shards="auto"`` sizes the split itself: the pool's worker
+        count (or :data:`AUTO_SHARD_DEFAULT` in-process), falling back
+        to the serial path outright below
+        :data:`AUTO_SHARD_MIN_CYCLES` vectors — the regime where
+        sharding is a documented pessimization.  The threshold is
+        recorded on the ``engine.run_sharded`` span either way.
         """
         vectors = _normalize_stream(self.automaton, stream)
         if recorder is None:
             recorder = ReportRecorder(position_limit=position_limit)
+        auto = shards == "auto"
+        if auto:
+            shards = self._auto_shards(len(vectors), runner)
         shards = max(1, min(int(shards), len(vectors)))
         depth = self.automaton.depth_bound()
         if shards <= 1 or depth is None:
+            if auto:
+                with trace_span("engine.run_sharded", engine="bitset",
+                                automaton=self.automaton.name, shards=1,
+                                depth_bound=depth, cycles=len(vectors),
+                                auto_threshold=AUTO_SHARD_MIN_CYCLES,
+                                fallback="serial"):
+                    return self.run(vectors, recorder)
             return self.run(vectors, recorder)
         spans = _shard_spans(len(vectors), shards)
         blocks = [(vectors[max(0, start - depth):end],
@@ -667,7 +695,8 @@ class BitsetEngine:
                 overlap.observe((start - warm_start) * arity)
         with trace_span("engine.run_sharded", engine="bitset",
                         automaton=self.automaton.name, shards=shards,
-                        depth_bound=depth, cycles=len(vectors)):
+                        depth_bound=depth, cycles=len(vectors),
+                        auto_threshold=AUTO_SHARD_MIN_CYCLES):
             parts, histories = self._run_shard_blocks(
                 blocks, recorder, runner, interleave)
         for part in parts:
@@ -714,6 +743,93 @@ class BitsetEngine:
                     record_from=[record_from[index]],
                     histories=[histories[index]] if histories else None)
         return parts, histories
+
+    @staticmethod
+    def _auto_shards(cycle_count, runner):
+        """Shard count for ``shards="auto"`` (1 means run serial)."""
+        if cycle_count < AUTO_SHARD_MIN_CYCLES:
+            return 1
+        if runner is not None and runner.workers > 1:
+            return runner.workers
+        return AUTO_SHARD_DEFAULT
+
+    # ------------------------------------------------------------------
+    # Prefilter-gated window execution
+    # ------------------------------------------------------------------
+    def run_windows(self, vectors, windows, recorder=None,
+                    position_limit=None):
+        """Execute only the given windows of one stream; returns the recorder.
+
+        ``windows`` are ascending, disjoint ``(start, record_from,
+        end)`` cycle triples from :func:`repro.prefilter.gate.
+        plan_windows`: each runs as a lane from an empty active mask at
+        absolute cycle ``start`` (phases align with the serial run) and
+        suppresses reports before ``record_from`` — the same warm-up
+        replay :meth:`run_sharded` uses, so provided ``record_from -
+        start >= depth_bound()`` (or ``start == 0``) the recorded
+        events are bit-exact with the corresponding slice of
+        :meth:`run`.  Parts are stitched in window order, which is
+        cycle order.  No active-count history is kept: a gated run
+        skips most cycles, so per-cycle statistics would not be
+        comparable with an ungated run's.
+        """
+        vectors = _normalize_stream(self.automaton, vectors)
+        if recorder is None:
+            recorder = ReportRecorder(position_limit=position_limit)
+        if not windows:
+            return recorder
+        lane_vectors = [vectors[start:end] for start, _, end in windows]
+        starts = [start for start, _, _ in windows]
+        record_from = [record for _, record, _ in windows]
+        return self.run_window_lanes(lane_vectors, starts, record_from,
+                                     recorder, total_cycles=len(vectors))
+
+    def run_window_lanes(self, lane_vectors, start_cycles, record_from,
+                         recorder, total_cycles=None):
+        """The lane-level form of :meth:`run_windows`.
+
+        The gate calls this directly with window slices built by
+        :func:`~repro.sim.inputs.stream_slice`, so a gated run never
+        materializes the full vector stream — its Python-level work
+        stays proportional to the windows, not the input length.
+        """
+        parts = [ReportRecorder(keep_events=recorder.keep_events,
+                                position_limit=recorder.position_limit)
+                 for _ in lane_vectors]
+        if OBS.active:
+            self._run_windows_observed(lane_vectors, parts, start_cycles,
+                                       record_from, total_cycles)
+        else:
+            self._execute_lanes(lane_vectors, parts, "lanes",
+                                start_cycles=start_cycles,
+                                record_from=record_from)
+        for part in parts:
+            recorder.absorb(part)
+        self.reset()
+        return recorder
+
+    def _run_windows_observed(self, lane_vectors, parts, starts,
+                              record_from, total_cycles):
+        """`run_windows` with the telemetry hooks live."""
+        handles = OBS.instruments.engine_handles("bitset")
+        executed = sum(len(vectors) for vectors in lane_vectors)
+        if total_cycles is None:
+            total_cycles = executed
+        with trace_span("engine.run_windows", engine="bitset",
+                        automaton=self.automaton.name,
+                        windows=len(lane_vectors), cycles=executed,
+                        total_cycles=total_cycles):
+            start = perf_counter()
+            lane_hits, lane_misses = self._execute_lanes(
+                lane_vectors, parts, "lanes", start_cycles=starts,
+                record_from=record_from)
+            elapsed = perf_counter() - start
+        handles.runs.inc()
+        handles.cycles.inc(executed)
+        handles.reports.inc(sum(part.total_reports for part in parts))
+        handles.run_seconds.observe(elapsed)
+        handles.cache_hits.inc(sum(lane_hits))
+        handles.cache_misses.inc(sum(lane_misses))
 
 
 class NaiveEngine:

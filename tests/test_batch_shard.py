@@ -213,6 +213,53 @@ class TestShardFallbacksAndPool:
         assert (list(engine.active_count_history)
                 == list(serial_engine.active_count_history))
 
+    def test_auto_shards_short_stream_falls_back_serial(self):
+        from repro.sim import engine as engine_module
+        machine = compile_ruleset(["abc"])
+        data = list(b"zabcz" * 20)
+        assert len(data) < engine_module.AUTO_SHARD_MIN_CYCLES
+        serial = BitsetEngine(machine).run(data)
+        recorder = BitsetEngine(machine).run_sharded(data, "auto")
+        assert recorder.to_payload() == serial.to_payload()
+
+    def test_auto_shards_long_stream_shards_bit_exact(self, monkeypatch):
+        from repro.sim import engine as engine_module
+        monkeypatch.setattr(engine_module, "AUTO_SHARD_MIN_CYCLES", 64)
+        rng = random.Random(5)
+        machine = compile_ruleset(ACYCLIC_RULES)
+        vectors, limit = stream_for(machine, _noisy_data(rng, 200))
+        serial = BitsetEngine(machine).run(vectors, position_limit=limit)
+        recorder = BitsetEngine(machine).run_sharded(
+            vectors, "auto", position_limit=limit)
+        assert recorder.to_payload() == serial.to_payload()
+
+    def test_auto_shards_sizing(self):
+        from repro.sim.engine import (AUTO_SHARD_DEFAULT,
+                                      AUTO_SHARD_MIN_CYCLES, BitsetEngine)
+        assert BitsetEngine._auto_shards(AUTO_SHARD_MIN_CYCLES - 1,
+                                         None) == 1
+        assert BitsetEngine._auto_shards(AUTO_SHARD_MIN_CYCLES,
+                                         None) == AUTO_SHARD_DEFAULT
+        runner = ParallelRunner(workers=3)
+        assert BitsetEngine._auto_shards(AUTO_SHARD_MIN_CYCLES,
+                                         runner) == 3
+
+    def test_auto_shards_stage_param_bit_exact(self):
+        """``shards="auto"`` flows through the experiment stage params."""
+        from repro.experiments.table1 import simulation_params
+        from repro.runtime.stages import canonical, get_stage
+        from repro.workloads import generate
+
+        params = simulation_params({"name": "ExactMatch"}, shards="auto")
+        assert params["shards"] == "auto"
+        assert canonical(params) != canonical({"name": "ExactMatch"})
+        instance = generate("ExactMatch", 0.002, 0)
+        sim8 = get_stage("simulate8").func
+        plain = sim8({"name": "ExactMatch"}, instance)
+        auto = sim8(params, instance)
+        assert auto.recorder.events == plain.recorder.events
+        assert auto.cycles == plain.cycles
+
 
 @pytest.mark.parametrize("rate", [1, 2, 4])
 class TestDeviceBatchDifferential:

@@ -155,3 +155,22 @@ class TestProfile:
 
         assert main(["profile", "experiment", "table5"]) == 0
         assert not OBS.active
+
+    def test_profile_forwards_root_flags(self, tmp_path):
+        """Root flags before ``profile`` reach the wrapped command.
+
+        ``profile`` re-parses its wrapped argv, which starts at the
+        subcommand — ``--prefilter`` given before ``profile`` must be
+        copied onto the inner namespace or the gated run silently runs
+        ungated.
+        """
+        import json
+
+        metrics = tmp_path / "m.json"
+        assert main(["--prefilter", "profile", "match", "needle",
+                     "--text", "xxxneedleyy",
+                     "--metrics-out", str(metrics)]) == 0
+        snapshot = json.loads(metrics.read_text())
+        by_name = {m["name"]: m for m in snapshot["metrics"]}
+        scanned = by_name["repro_prefilter_scan_bytes_total"]["samples"]
+        assert scanned and scanned[0]["value"] > 0
