@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-prefilter bench-check repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-prefilter bench-exec bench-check repro scorecard profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -37,6 +37,11 @@ bench-batch:
 # the same reason.
 bench-prefilter:
 	$(PYTHON) scripts/bench_prefilter.py --scale 0.01 --out BENCH_prefilter.json
+
+# Auto-planner vs manual configurations (repro.exec); fixed scale for
+# the same reason, extra repeats because both ratio sides are timed.
+bench-exec:
+	$(PYTHON) scripts/bench_exec.py --scale 0.01 --repeats 5 --out BENCH_exec.json
 
 # Perf-regression gate: quick fresh runs of every suite with a committed
 # BENCH_*.json baseline, nonzero exit when speedups regress.

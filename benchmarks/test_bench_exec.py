@@ -1,0 +1,74 @@
+"""Tier-2 smoke: the exec-planner benchmark payload validates its schema.
+
+Mirrors ``make bench-exec`` at a tiny scale so drift in the
+``BENCH_exec.json`` trajectory format fails fast, and pins the issue's
+acceptance figures on the committed baseline: the auto plan's geomean
+is >= 0.95x the best manual configuration and strictly beats the worst
+one on every benchmarked family.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_exec  # noqa: E402
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+
+
+def test_bench_exec_payload_schema(tmp_path):
+    out = tmp_path / "BENCH_exec.json"
+    code = bench_exec.main([
+        "--scale", "0.002",
+        "--repeats", "1",
+        "--families", "exact", "dotstar",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_exec.validate_payload(payload)
+    assert [row["name"] for row in payload["families"]] == [
+        "exact", "dotstar"]
+    by_name = {row["name"]: row for row in payload["families"]}
+    # The planner's regime picks: filterable-acyclic gates, cyclic stays
+    # serial (and never offers the unsound shards4/gated configs).
+    assert by_name["exact"]["strategy"] == "gated"
+    assert by_name["dotstar"]["strategy"] == "serial"
+    assert "gated" in by_name["exact"]["configs"]
+    assert "gated" not in by_name["dotstar"]["configs"]
+    assert "shards4" not in by_name["dotstar"]["configs"]
+    metrics = bench_exec.extract_metrics(payload)
+    bands = bench_exec.extract_bands(payload)
+    assert set(bands) == set(metrics)
+    assert "auto_vs_best:exact" in metrics
+    assert "auto_vs_worst:dotstar" in metrics
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_exec.validate_payload({"schema": "something-else"})
+    payload = bench_exec.run_suite(scale=0.002, repeats=1,
+                                   families=("exact",))
+    bench_exec.validate_payload(payload)
+    broken = json.loads(json.dumps(payload))
+    del broken["families"][0]["configs"]["serial"]
+    with pytest.raises(ValueError):
+        bench_exec.validate_payload(broken)
+
+
+def test_committed_baseline_meets_acceptance():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    bench_exec.validate_payload(payload)
+    # The issue's acceptance criteria: the auto plan is within noise of
+    # the best manual configuration (geomean and per family) and
+    # strictly beats the worst one everywhere.
+    assert payload["auto_vs_best_geomean"] >= 0.95
+    assert {row["name"] for row in payload["families"]} == set(
+        bench_exec.DEFAULT_FAMILIES)
+    for row in payload["families"]:
+        assert row["auto_vs_best"]["speedup"] >= 0.95, row["name"]
+        assert row["auto_vs_worst"]["speedup"] > 1.0, row["name"]

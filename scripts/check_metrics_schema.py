@@ -17,7 +17,10 @@ Runs ``python -m repro profile experiment table4 --workers 2
 - a second observed mini-run exercising ``run_batch``/``run_sharded``
   directly, pinning the batch/shard metric families (the profiled
   table4 run stays on the default serial stage params, so these
-  instruments need their own exercise to record samples).
+  instruments need their own exercise to record samples);
+- observed gated and *planned* mini-runs pinning the prefilter
+  instrument family and the execution planner's
+  ``repro_plan_selected_total`` counter plus ``exec.plan`` span.
 
 Exits non-zero on any drift, so the exposition format is pinned in CI
 (``make profile-smoke``).
@@ -98,6 +101,13 @@ PREFILTER_REQUIRED_SPANS = (
     "prefilter.hotcold",
     "engine.run_windows",
 )
+#: Planner instruments pinned by the planned mini-run below.
+PLAN_REQUIRED_METRICS = (
+    "repro_plan_selected_total",
+)
+PLAN_REQUIRED_SPANS = (
+    "exec.plan",
+)
 
 
 def fail(message):
@@ -172,6 +182,45 @@ def check_prefilter_metrics():
     return 0
 
 
+def check_plan_metrics():
+    """Observed planned execution; returns 0 or fail().
+
+    Runs a plan-free :class:`~repro.exec.Session` so the planner picks
+    the strategy, requiring the ``repro_plan_selected_total`` counter
+    (with strategy/reason labels) and the ``exec.plan`` span.
+    """
+    from repro.exec import Session
+
+    machine = compile_ruleset(["needle", "abc[0-9]"])
+    data = b"x" * 200 + b"needle" + b"y" * 200
+    registry = obs.MetricsRegistry()
+    trace = obs.TraceCollector()
+    with obs.collecting(registry=registry, trace=trace):
+        results = Session(machine).execute([data])
+    if results[0].total_reports != 1:
+        return fail("planned mini-run expected 1 report, saw %d"
+                    % results[0].total_reports)
+    snapshot = registry.snapshot()
+    validate_snapshot(snapshot)
+    by_name = {metric["name"]: metric for metric in snapshot["metrics"]}
+    missing = [name for name in PLAN_REQUIRED_METRICS if name not in by_name]
+    if missing:
+        return fail("planned mini-run lacks metrics: %s" % missing)
+    samples = by_name["repro_plan_selected_total"]["samples"]
+    if not samples:
+        return fail("repro_plan_selected_total recorded no samples")
+    labels = samples[0].get("labels", {})
+    if not labels.get("strategy") or not labels.get("reason"):
+        return fail("plan_selected sample lacks strategy/reason labels: %r"
+                    % (labels,))
+    span_names = {span.name for span in trace.spans}
+    missing_spans = [name for name in PLAN_REQUIRED_SPANS
+                     if name not in span_names]
+    if missing_spans:
+        return fail("planned mini-run lacks spans: %s" % missing_spans)
+    return 0
+
+
 def check(scale="0.002"):
     # A warm transform cache or artifact store would serve every stage
     # as a hit, which is (correctly) excluded from the *_seconds
@@ -232,6 +281,10 @@ def check(scale="0.002"):
         return code
 
     code = check_prefilter_metrics()
+    if code:
+        return code
+
+    code = check_plan_metrics()
     if code:
         return code
 

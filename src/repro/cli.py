@@ -41,6 +41,15 @@ The global ``--device-fidelity {auto,literal,packed}`` flag selects the
 and the device-bearing experiments (table4, figure10): ``packed`` runs
 the bitmask-compiled kernel, ``literal`` the bit-level oracle (see
 docs/performance.md).
+
+The global ``--plan {auto,<json>}`` flag names the whole execution
+strategy for the stage-graph experiments (table1, table4) as one
+:class:`~repro.exec.ExecutionPlan` value: ``auto`` (the default) maps
+the legacy ``--batch``/``--shards``/``--prefilter``/
+``--hotcold-coverage``/``--device-fidelity`` flags onto a plan, an
+inline JSON document pins one exactly (and then conflicts with the
+legacy flags).  ``repro plan explain <patterns>`` shows the plan the
+auto-planner would pick and why (see docs/architecture.md).
 """
 
 import argparse
@@ -146,6 +155,36 @@ _FIDELITY_EXPERIMENTS = ("table4", "figure10")
 _BATCH_EXPERIMENTS = ("table1", "table4")
 #: Experiments whose simulate stages accept --prefilter/--hotcold-coverage.
 _PREFILTER_EXPERIMENTS = ("table1", "table4")
+#: Experiments whose entry points take one ExecutionPlan value.
+_PLAN_EXPERIMENTS = ("table1", "table4")
+
+
+def _experiment_plan(args):
+    """One :class:`~repro.exec.ExecutionPlan` from the strategy flags.
+
+    ``--plan auto`` (the default) maps the legacy knobs onto a plan via
+    :meth:`ExecutionPlan.from_flags`, so contradictory flags fail with
+    the plan-level messages; an explicit ``--plan <json>`` pins the plan
+    exactly and conflicts with any non-default legacy knob.
+    """
+    from .exec import ExecutionPlan, resolve_plan
+    try:
+        explicit = resolve_plan(args.plan)
+    except ValueError as error:
+        raise SystemExit("--plan: %s" % error)
+    legacy = (args.batch != 1 or args.shards != 1 or args.prefilter
+              or args.hotcold_coverage is not None
+              or args.device_fidelity != "auto")
+    if explicit is not None:
+        if legacy:
+            raise SystemExit(
+                "--plan conflicts with --batch/--shards/--prefilter/"
+                "--hotcold-coverage/--device-fidelity; encode the "
+                "strategy in the plan document instead")
+        return explicit
+    return ExecutionPlan.from_flags(
+        batch=args.batch, shards=args.shards, prefilter=args.prefilter,
+        hotcold=args.hotcold_coverage, fidelity=args.device_fidelity)
 
 
 def cmd_experiment(args):
@@ -156,19 +195,22 @@ def cmd_experiment(args):
         kwargs["seed"] = args.seed
     if args.name in _PARALLEL_EXPERIMENTS:
         kwargs["workers"] = args.workers
+    if args.name in _PLAN_EXPERIMENTS:
+        # The whole strategy surface (batch/shards/prefilter/hotcold/
+        # fidelity) rides on one plan value for these experiments.
+        kwargs["plan"] = _experiment_plan(args)
+        module.main(**kwargs)
+        return 0
+    if args.plan != "auto":
+        raise SystemExit(
+            "--plan applies only to: %s" % ", ".join(_PLAN_EXPERIMENTS))
     if args.name in _FIDELITY_EXPERIMENTS:
         kwargs["fidelity"] = args.device_fidelity
-    if args.name in _BATCH_EXPERIMENTS:
-        kwargs["batch"] = args.batch
-        kwargs["shards"] = args.shards
-    elif args.batch != 1 or args.shards != 1:
+    if args.batch != 1 or args.shards != 1:
         raise SystemExit(
             "--batch/--shards apply only to: %s"
             % ", ".join(_BATCH_EXPERIMENTS))
-    if args.name in _PREFILTER_EXPERIMENTS:
-        kwargs["prefilter"] = args.prefilter
-        kwargs["hotcold"] = args.hotcold_coverage
-    elif args.prefilter or args.hotcold_coverage is not None:
+    if args.prefilter or args.hotcold_coverage is not None:
         raise SystemExit(
             "--prefilter/--hotcold-coverage apply only to: %s"
             % ", ".join(_PREFILTER_EXPERIMENTS))
@@ -187,6 +229,8 @@ def cmd_workload(args):
 
 
 def cmd_plan(args):
+    if args.patterns and args.patterns[0] == "explain":
+        return _plan_explain(args)
     machine = _build_ruleset(args.patterns)
     from .core.capacity import recommend_rate
     best, plans = recommend_rate(machine, args.clusters)
@@ -198,6 +242,26 @@ def cmd_plan(args):
         print("%-6d %-8d %-9d %-7d %-14.1f%s" % (
             plan.rate, plan.states, plan.clusters, plan.rounds,
             plan.effective_gbps, marker))
+    return 0
+
+
+def _plan_explain(args):
+    """``repro plan explain <patterns>``: the auto-selected execution
+    plan for a ruleset plus one reason line per decision."""
+    patterns = args.patterns[1:]
+    if not patterns:
+        print("error: plan explain requires at least one pattern",
+              file=sys.stderr)
+        return 2
+    from .exec import Planner
+    machine = _build_ruleset(patterns)
+    planner = Planner(target=args.target)
+    plan, choices = planner.explain(machine, stream_count=args.streams,
+                                    stream_cycles=args.stream_bytes)
+    print("plan: %s" % plan.dumps())
+    for choice in choices:
+        print("  %-12s %-10s %s" % (choice["choice"],
+                                    str(choice["value"]), choice["reason"]))
     return 0
 
 
@@ -371,6 +435,7 @@ _ROOT_FLAG_DEFAULTS = {
     "device_fidelity": "auto",
     "prefilter": False,
     "hotcold_coverage": None,
+    "plan": "auto",
 }
 
 
@@ -460,6 +525,12 @@ def build_parser():
         "--hotcold-coverage", type=float, default=None, metavar="FRAC",
         help="with --prefilter, also record the hot/cold state split at "
              "the given activity coverage (e.g. 0.9)")
+    parser.add_argument(
+        "--plan", default="auto", metavar="PLAN",
+        help="execution plan for the stage-graph experiments: 'auto' "
+             "maps the legacy strategy flags onto one, or an inline "
+             "repro-exec-plan JSON document (table1/table4 only; see "
+             "'repro plan explain')")
     commands = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = commands.add_parser(
@@ -518,9 +589,21 @@ def build_parser():
     workload_parser.set_defaults(func=cmd_workload)
 
     plan_parser = commands.add_parser(
-        "plan", help="recommend a processing rate for a ruleset")
+        "plan", help="recommend a processing rate for a ruleset, or "
+                     "'plan explain <patterns>' for the auto-selected "
+                     "execution plan")
     plan_parser.add_argument("patterns", nargs="+")
     plan_parser.add_argument("--clusters", type=int, default=8)
+    plan_parser.add_argument(
+        "--streams", type=int, default=1, metavar="N",
+        help="(explain) plan for N independent input streams")
+    plan_parser.add_argument(
+        "--stream-bytes", type=int, default=0, metavar="N",
+        help="(explain) plan for streams of N bytes (drives the "
+             "auto-shard threshold)")
+    plan_parser.add_argument(
+        "--target", default="engine", choices=["engine", "device"],
+        help="(explain) plan for the functional engine or the device")
     plan_parser.set_defaults(func=cmd_plan)
 
     compare_parser = commands.add_parser(

@@ -357,7 +357,7 @@ class SunderDevice:
     # ------------------------------------------------------------------
     # Batched multi-stream execution
     # ------------------------------------------------------------------
-    def run_batch(self, streams, position_limit=None):
+    def run_batch(self, streams, position_limit=None, recorders=None):
         """Drive N independent streams through the configured automaton.
 
         The aggregate-throughput fast path: every lane behaves as a
@@ -369,7 +369,8 @@ class SunderDevice:
         FIFO drains) is bypassed, and the device's own streaming state
         (``global_cycle``, enables, access counters, regions) is left
         untouched; use :meth:`run` when those figures matter.  Returns
-        the list of per-lane :class:`ReportRecorder`\\ s.
+        the list of per-lane :class:`ReportRecorder`\\ s — callers with
+        per-lane position limits pass their own via ``recorders``.
 
         Packed fidelity only: the literal oracle has no lane-sharable
         compiled form.
@@ -383,8 +384,13 @@ class SunderDevice:
             [(vector,) if isinstance(vector, int) else tuple(vector)
              for vector in stream]
             for stream in streams]
-        recorders = [ReportRecorder(position_limit=position_limit)
-                     for _ in lane_vectors]
+        if recorders is None:
+            recorders = [ReportRecorder(position_limit=position_limit)
+                         for _ in lane_vectors]
+        elif len(recorders) != len(lane_vectors):
+            raise ArchitectureError(
+                "run_batch got %d recorders for %d streams"
+                % (len(recorders), len(lane_vectors)))
         kernel = self._kernel
         if kernel is None:
             kernel = self._compile_kernel()

@@ -294,18 +294,29 @@ class PackedKernel:
             self._batch_plans[key] = plan
         return plan
 
-    def run_batch(self, lane_vectors, period, recorders):
-        """Drive N independent normalized streams through the kernel.
+    def run_lanes(self, lane_vectors, period, recorders, start_cycles=None,
+                  record_from=None):
+        """The shared lane executor: N lanes, one step cache.
 
-        Each lane starts from the reset dynamic state (zero enables)
-        and advances in lockstep with the others; lanes share the step
-        cache, so identical ``(enables, vector, phase)`` transitions
-        are computed once per batch.  Reports decode straight into the
-        per-lane recorders via :meth:`_batch_report_plan` — the
-        reporting-region hardware model (row writes, stalls, flushes,
-        FIFO drains) is bypassed, and the kernel's own dynamic state,
-        pending access counters, and regions are untouched.  Returns
-        per-lane ``(hits, misses)`` lists.
+        Each lane is an independent normalized stream (or a replay
+        window of one stream) starting from the reset dynamic state
+        (zero enables).  ``start_cycles`` gives each lane's absolute
+        first cycle (window replays start mid-stream; phases derive
+        from absolute cycles so ``ALL_INPUT`` start-period boundaries
+        line up with the serial run) and ``record_from`` suppresses
+        reports before a lane's true block start — warm-up cycles exist
+        only to rebuild the enable state (the shard-replay warm-up
+        argument).  Omitting both runs every lane as a fresh stream
+        from cycle 0 with nothing suppressed.
+
+        Lanes share the step cache, so identical ``(enables, vector,
+        phase)`` transitions are computed once per call.  Reports
+        decode straight into the per-lane recorders via
+        :meth:`_batch_report_plan` — the reporting-region hardware
+        model (row writes, stalls, flushes, FIFO drains) is bypassed,
+        and the kernel's own dynamic state, pending access counters,
+        and regions are untouched.  Returns per-lane ``(hits, misses)``
+        lists.
         """
         cache = self._cache
         cache_limit = self._cache_limit
@@ -314,18 +325,24 @@ class PackedKernel:
         batch_plan = self._batch_report_plan
         arity = self.arity
         lanes = len(lane_vectors)
+        if start_cycles is None:
+            start_cycles = (0,) * lanes
+        if record_from is None:
+            record_from = start_cycles
         reset_enables = (0,) * len(self.pus)
         enables = [reset_enables] * lanes
         lane_hits = [0] * lanes
         lane_misses = [0] * lanes
         lane_lengths = [len(vectors) for vectors in lane_vectors]
-        for cycle in range(max(lane_lengths, default=0)):
-            phase = 2 if cycle == 0 else (1 if cycle % period == 0 else 0)
-            base = cycle * arity
+        skipped = 0
+        for index in range(max(lane_lengths, default=0)):
             for lane in range(lanes):
-                if cycle >= lane_lengths[lane]:
+                if index >= lane_lengths[lane]:
                     continue
-                key = (enables[lane], lane_vectors[lane][cycle], phase)
+                cycle = start_cycles[lane] + index
+                phase = 2 if cycle == 0 else (
+                    1 if cycle % period == 0 else 0)
+                key = (enables[lane], lane_vectors[lane][index], phase)
                 value = cache.get(key)
                 if value is None:
                     lane_misses[lane] += 1
@@ -340,17 +357,28 @@ class PackedKernel:
                         del cache[key]
                         cache[key] = value
                 enables[lane] = value[0]
-                plan = value[2]
-                if plan:
-                    record = recorders[lane].record
-                    for index, report, _ in plan:
-                        for offset, state_id, code in batch_plan(index,
-                                                                 report):
-                            record(base + offset, cycle, state_id, code)
-                self.pus_skipped += value[5]
+                if cycle >= record_from[lane]:
+                    plan = value[2]
+                    if plan:
+                        record = recorders[lane].record
+                        base = cycle * arity
+                        for pu_index, report, _ in plan:
+                            for offset, state_id, code in batch_plan(
+                                    pu_index, report):
+                                record(base + offset, cycle, state_id, code)
+                skipped += value[5]
+        self.pus_skipped += skipped
         self.cache_hits += sum(lane_hits)
         self.cache_misses += sum(lane_misses)
         return lane_hits, lane_misses
+
+    def run_batch(self, lane_vectors, period, recorders):
+        """Drive N independent normalized streams through the kernel.
+
+        Thin delegate over :meth:`run_lanes` with every lane a fresh
+        stream from cycle 0 and nothing suppressed.
+        """
+        return self.run_lanes(lane_vectors, period, recorders)
 
     # ------------------------------------------------------------------
     # Prefilter-gated window execution
@@ -359,65 +387,12 @@ class PackedKernel:
                     record_from):
         """Replay windows of one stream at absolute cycle offsets.
 
-        Each lane is one replay window of the same normalized stream:
-        it starts from reset dynamic state (zero enables) at absolute
-        cycle ``start_cycles[lane]``, phases derive from the absolute
-        cycle so ``ALL_INPUT`` start-period boundaries line up with the
-        serial run, and reports before ``record_from[lane]`` are
-        suppressed — those cycles exist only to rebuild the enable
-        state (the shard-replay warm-up argument).  Reports decode
-        straight into the per-lane recorders via
-        :meth:`_batch_report_plan`, same as :meth:`run_batch`: the
-        reporting-region hardware model is bypassed and the kernel's
-        own streaming state is untouched.  Returns per-lane
-        ``(hits, misses)`` lists.
+        Thin delegate over :meth:`run_lanes`; see there for the
+        warm-up-replay and suppression semantics.
         """
-        cache = self._cache
-        cache_limit = self._cache_limit
-        touch_floor = self._touch_floor
-        compute = self._compute
-        batch_plan = self._batch_report_plan
-        arity = self.arity
-        lanes = len(lane_vectors)
-        reset_enables = (0,) * len(self.pus)
-        lane_hits = [0] * lanes
-        lane_misses = [0] * lanes
-        for lane in range(lanes):
-            enables = reset_enables
-            start = start_cycles[lane]
-            suppress_before = record_from[lane]
-            record = recorders[lane].record
-            for index, vector in enumerate(lane_vectors[lane]):
-                cycle = start + index
-                phase = 2 if cycle == 0 else (
-                    1 if cycle % period == 0 else 0)
-                key = (enables, vector, phase)
-                value = cache.get(key)
-                if value is None:
-                    lane_misses[lane] += 1
-                    value = compute(key)
-                    if cache_limit:
-                        cache[key] = value
-                        if len(cache) > cache_limit:
-                            del cache[next(iter(cache))]
-                else:
-                    lane_hits[lane] += 1
-                    if len(cache) > touch_floor:
-                        del cache[key]
-                        cache[key] = value
-                enables = value[0]
-                if cycle >= suppress_before:
-                    plan = value[2]
-                    if plan:
-                        base = cycle * arity
-                        for pu_index, report, _ in plan:
-                            for offset, state_id, code in batch_plan(
-                                    pu_index, report):
-                                record(base + offset, cycle, state_id, code)
-                self.pus_skipped += value[5]
-        self.cache_hits += sum(lane_hits)
-        self.cache_misses += sum(lane_misses)
-        return lane_hits, lane_misses
+        return self.run_lanes(lane_vectors, period, recorders,
+                              start_cycles=start_cycles,
+                              record_from=record_from)
 
     # ------------------------------------------------------------------
     # Synchronization with the literal model

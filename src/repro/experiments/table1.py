@@ -45,15 +45,30 @@ def select_names(names, experiment):
 
 
 def simulation_params(base, batch=1, shards=1, prefilter=False,
-                      hotcold=None):
+                      hotcold=None, plan=None):
     """Simulate-stage params with the execution strategy salted in.
 
     ``batch``/``shards``/``prefilter``/``hotcold`` join the params only
     when enabled, so plain serial runs keep their pre-existing artifact
     keys (warm stores stay warm) while batched/sharded/gated runs are
     content-addressed separately.
+
+    An explicit ``plan`` (:class:`~repro.exec.ExecutionPlan`) replaces
+    the legacy knobs entirely: its :meth:`param_payload` joins the params
+    only when non-default, following the same key-salting rule, and
+    passing non-default legacy knobs alongside it is an error.
     """
     params = dict(base)
+    if plan is not None:
+        if (int(batch) > 1 or shards == "auto" or int(shards) > 1
+                or prefilter or hotcold is not None):
+            raise ValueError(
+                "simulation_params: pass either plan= or the legacy "
+                "batch/shards/prefilter/hotcold knobs, not both")
+        payload = plan.param_payload()
+        if payload:
+            params["plan"] = payload
+        return params
     if batch and int(batch) > 1:
         params["batch"] = int(batch)
     if shards == "auto":
@@ -68,7 +83,7 @@ def simulation_params(base, batch=1, shards=1, prefilter=False,
 
 
 def define(graph, scale, seed, names, batch=1, shards=1, prefilter=False,
-           hotcold=None):
+           hotcold=None, plan=None):
     """Declare Table 1's stages; returns the per-benchmark row tasks."""
     rows = []
     for name in names:
@@ -76,7 +91,7 @@ def define(graph, scale, seed, names, batch=1, shards=1, prefilter=False,
                          {"name": name, "scale": scale, "seed": seed})
         sim = graph.task("simulate8",
                          simulation_params({"name": name}, batch, shards,
-                                           prefilter, hotcold),
+                                           prefilter, hotcold, plan=plan),
                          deps=[gen])
         rows.append(graph.task("table1_row", {"name": name},
                                deps=[gen, sim]))
@@ -84,7 +99,7 @@ def define(graph, scale, seed, names, batch=1, shards=1, prefilter=False,
 
 
 def run(scale=0.02, seed=0, names=None, workers=1, runtime=None,
-        batch=1, shards=1, prefilter=False, hotcold=None):
+        batch=1, shards=1, prefilter=False, hotcold=None, plan=None):
     """Simulate the suite; returns the list of result rows.
 
     ``workers`` fans the stage executions out across a process pool
@@ -95,14 +110,15 @@ def run(scale=0.02, seed=0, names=None, workers=1, runtime=None,
     ``prefilter`` gates them behind the two-stage literal prefilter
     (reports stay bit-exact, active-state statistics are skipped on
     gated runs), and ``hotcold`` additionally records the hot/cold
-    state split at the given activity coverage.
+    state split at the given activity coverage.  An explicit ``plan``
+    (:class:`~repro.exec.ExecutionPlan`) supersedes those knobs.
     """
     chosen = select_names(names, "table1.run")
     if runtime is None:
         runtime = Runtime(workers=workers)
     graph = StageGraph()
     tasks = define(graph, scale, seed, chosen, batch=batch, shards=shards,
-                   prefilter=prefilter, hotcold=hotcold)
+                   prefilter=prefilter, hotcold=hotcold, plan=plan)
     results = runtime.execute(graph, targets=tasks)
     return [results[task] for task in tasks]
 
@@ -114,10 +130,10 @@ def render(rows):
 
 @instrumented_experiment("table1")
 def main(scale=0.02, seed=0, workers=1, batch=1, shards=1, prefilter=False,
-         hotcold=None):
+         hotcold=None, plan=None):
     """Run and print (entry point used by the benchmark harness)."""
     rows = run(scale=scale, seed=seed, workers=workers,
                batch=batch, shards=shards, prefilter=prefilter,
-               hotcold=hotcold)
+               hotcold=hotcold, plan=plan)
     print(render(rows))
     return rows

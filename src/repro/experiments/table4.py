@@ -105,7 +105,7 @@ def evaluate_benchmark(instance, rate=4, config=None, scale=1.0,
 
 
 def define(graph, scale, seed, names, rate, fidelity="auto",
-           batch=1, shards=1, prefilter=False, hotcold=None):
+           batch=1, shards=1, prefilter=False, hotcold=None, plan=None):
     """Declare Table 4's stages; returns the per-benchmark row tasks.
 
     ``fidelity`` salts the device-bearing ``place``/``report_drain``
@@ -114,22 +114,29 @@ def define(graph, scale, seed, names, rate, fidelity="auto",
     ``batch``/``shards`` select the simulate stages' engine strategy and
     salt their keys the same way (only when > 1); ``prefilter``/
     ``hotcold`` gate them behind the literal prefilter (only when
-    enabled).
+    enabled).  An explicit ``plan`` supersedes every one of those knobs:
+    the simulate stages carry its payload and the device-bearing stages
+    take their fidelity from it.
     """
+    if plan is not None:
+        if fidelity != "auto":
+            raise ValueError(
+                "table4.define: pass either plan= or fidelity=, not both")
+        fidelity = plan.fidelity
     rows = []
     for name in names:
         gen = graph.task("generate",
                          {"name": name, "scale": scale, "seed": seed})
         sim8 = graph.task("simulate8",
                           simulation_params({"name": name}, batch, shards,
-                                            prefilter, hotcold),
+                                            prefilter, hotcold, plan=plan),
                           deps=[gen])
         strided = graph.task("to_rate", {"name": name, "rate": rate},
                              deps=[gen])
         sim_strided = graph.task(
             "simulate_strided",
             simulation_params({"name": name, "rate": rate}, batch, shards,
-                              prefilter, hotcold),
+                              prefilter, hotcold, plan=plan),
             deps=[gen, strided])
         placed = graph.task("place",
                             {"name": name, "rate": rate,
@@ -144,7 +151,8 @@ def define(graph, scale, seed, names, rate, fidelity="auto",
 
 
 def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None,
-        fidelity="auto", batch=1, shards=1, prefilter=False, hotcold=None):
+        fidelity="auto", batch=1, shards=1, prefilter=False, hotcold=None,
+        plan=None):
     """Evaluate the suite; returns (rows, averages).
 
     ``workers`` fans the stage executions out across a process pool
@@ -160,7 +168,7 @@ def run(scale=0.01, seed=0, names=None, rate=4, workers=1, runtime=None,
     graph = StageGraph()
     tasks = define(graph, scale, seed, chosen, rate, fidelity=fidelity,
                    batch=batch, shards=shards, prefilter=prefilter,
-                   hotcold=hotcold)
+                   hotcold=hotcold, plan=plan)
     results = runtime.execute(graph, targets=tasks)
     rows = [results[task] for task in tasks]
     averages = average_row(
@@ -180,10 +188,10 @@ def render(rows, averages):
 
 @instrumented_experiment("table4")
 def main(scale=0.01, seed=0, names=None, workers=1, fidelity="auto",
-         batch=1, shards=1, prefilter=False, hotcold=None):
+         batch=1, shards=1, prefilter=False, hotcold=None, plan=None):
     """Run and print."""
     rows, averages = run(scale=scale, seed=seed, names=names, workers=workers,
                          fidelity=fidelity, batch=batch, shards=shards,
-                         prefilter=prefilter, hotcold=hotcold)
+                         prefilter=prefilter, hotcold=hotcold, plan=plan)
     print(render(rows, averages))
     return rows, averages

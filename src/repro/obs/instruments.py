@@ -235,6 +235,12 @@ class Instruments:
             "Bytes of artifact JSON written by the runtime store's disk "
             "tier.")
 
+        # --- execution planner (repro.exec) ---------------------------
+        self.plan_selected = counter(
+            "repro_plan_selected_total",
+            "Plans auto-selected by the execution planner, by strategy "
+            "and machine-readable reason.", ("strategy", "reason"))
+
         # --- experiment harnesses (repro.experiments) -----------------
         self.experiment_runs = counter(
             "repro_experiment_runs_total",

@@ -34,7 +34,6 @@ per corpus, not once per stream.
 """
 
 import json
-import weakref
 from time import perf_counter
 
 from ..errors import ArtifactError, PrefilterError
@@ -200,21 +199,17 @@ def build_prefilter(automaton):
     return prefilter
 
 
-#: Per-machine memo of ``depth_bound()`` — an O(states) graph walk that
-#: would otherwise dominate gated runs on quiet streams.  Keyed weakly
-#: so transient machines do not pin memory; gated callers run the same
-#: machine object across many streams, which is exactly when the walk
-#: result is reusable (machines are not mutated once they execute).
-_DEPTH_BOUNDS = weakref.WeakKeyDictionary()
-
-
 def _depth_bound(machine):
-    try:
-        return _DEPTH_BOUNDS[machine]
-    except KeyError:
-        depth = machine.depth_bound()
-        _DEPTH_BOUNDS[machine] = depth
-        return depth
+    """Memoized ``depth_bound()`` — an O(states) graph walk that would
+    otherwise dominate gated runs on quiet streams.  Served from the
+    exec layer's trait artifacts (weak in-process memo + the
+    content-addressed transform cache), so gated callers, the planner,
+    and pool workers all share one walk per machine fingerprint.
+    """
+    # Imported lazily: repro.exec imports this module for its prefilter
+    # bindings, so a top-level import would cycle.
+    from ..exec.traits import automaton_traits
+    return automaton_traits(machine).depth_bound
 
 
 def plan_windows(ends, machine, cycle_count, depth=None):
@@ -307,42 +302,70 @@ def record_hotcold_savings(automaton, data, coverage):
     return split
 
 
+def _gate_stream(machine, data, source, prefilter, hotcold_coverage):
+    """The shared gate skeleton both execution targets run.
+
+    Builds (or takes) the prefilter, records the optional hot/cold
+    split, sizes the stream without materializing it, and plans the
+    replay windows.  Returns ``(cycle_count, position_limit, windows)``
+    with ``windows`` as :func:`scan_windows` produced them (None =
+    bypass, empty = gate stays cold).
+    """
+    source_machine = machine if source is None else source
+    if prefilter is None:
+        prefilter = build_prefilter(source_machine)
+    if hotcold_coverage is not None:
+        record_hotcold_savings(source_machine, data, hotcold_coverage)
+    cycle_count, limit = stream_shape(machine, data)
+    windows = scan_windows(prefilter, data, machine, cycle_count)
+    return cycle_count, limit, windows
+
+
+def _window_lanes(machine, data, windows):
+    """Materialize only the windowed slices of ``data`` as lanes.
+
+    A quiet stream never pays the per-byte vector build — lane work
+    stays proportional to the windows, not the input length.  Returns
+    ``(lanes, start_cycles, record_from)``.
+    """
+    lanes = [stream_slice(machine, data, start, end)
+             for start, _, end in windows]
+    starts = [start for start, _, _ in windows]
+    record_from = [record for _, record, _ in windows]
+    return lanes, starts, record_from
+
+
 def gated_simulation(machine, data, recorder, *, source=None,
-                     prefilter=None, hotcold_coverage=None):
+                     prefilter=None, hotcold_coverage=None, engine=None):
     """Prefilter-gated engine run of ``machine`` over byte stream ``data``.
 
     ``machine`` may be the 8-bit source itself or any rate-transformed
     derivative of ``source`` (literals are extracted from the byte
     machine; windows are mapped onto the target's cycles).  Events land
     in the caller's ``recorder`` bit-exact with an ungated
-    ``BitsetEngine(machine).run`` over the same stream.
+    ``BitsetEngine(machine).run`` over the same stream.  A caller
+    running many streams passes its own ``engine`` (compiled for
+    ``machine``) so window replays share one step cache across calls.
 
     Returns ``(engine, gated)``: ``gated`` is False when the gate was
     bypassed (unfilterable/cyclic); ``engine`` is None when the gate
-    stayed cold and the engine was never built (the hot/cold payoff).
+    stayed cold and no engine was passed or built (the hot/cold
+    payoff).
     """
     data = bytes(data)
-    source_machine = machine if source is None else source
-    if prefilter is None:
-        prefilter = build_prefilter(source_machine)
-    if hotcold_coverage is not None:
-        record_hotcold_savings(source_machine, data, hotcold_coverage)
-    cycle_count, _ = stream_shape(machine, data)
-    windows = scan_windows(prefilter, data, machine, cycle_count)
+    cycle_count, _, windows = _gate_stream(machine, data, source, prefilter,
+                                           hotcold_coverage)
     if windows is None:
-        engine = BitsetEngine(machine)
+        if engine is None:
+            engine = BitsetEngine(machine)
         vectors, _ = stream_for(machine, data)
         engine.run(vectors, recorder)
         return engine, False
     if not windows:
-        return None, True
-    # Materialize only the windowed slices — a quiet stream never pays
-    # the per-byte vector build.
-    lanes = [stream_slice(machine, data, start, end)
-             for start, _, end in windows]
-    starts = [start for start, _, _ in windows]
-    record_from = [record for _, record, _ in windows]
-    engine = BitsetEngine(machine)
+        return engine, True
+    lanes, starts, record_from = _window_lanes(machine, data, windows)
+    if engine is None:
+        engine = BitsetEngine(machine)
     engine.run_window_lanes(lanes, starts, record_from, recorder,
                             total_cycles=cycle_count)
     return engine, True
@@ -359,22 +382,14 @@ def gated_device_run(device, machine, data, *, source=None, prefilter=None,
     bit-exact with the ungated device run's reports.
     """
     data = bytes(data)
-    source_machine = machine if source is None else source
-    if prefilter is None:
-        prefilter = build_prefilter(source_machine)
-    if hotcold_coverage is not None:
-        record_hotcold_savings(source_machine, data, hotcold_coverage)
-    cycle_count, limit = stream_shape(machine, data)
+    cycle_count, limit, windows = _gate_stream(machine, data, source,
+                                               prefilter, hotcold_coverage)
     if position_limit is None:
         position_limit = limit
-    windows = scan_windows(prefilter, data, machine, cycle_count)
     if windows is None:
         vectors, _ = stream_for(machine, data)
         return device.run_gated(vectors, None, position_limit=position_limit)
-    lanes = [stream_slice(machine, data, start, end)
-             for start, _, end in windows]
-    starts = [start for start, _, _ in windows]
-    record_from = [record for _, record, _ in windows]
+    lanes, starts, record_from = _window_lanes(machine, data, windows)
     return device.run_gated_lanes(lanes, starts, record_from,
                                   position_limit=position_limit,
                                   total_cycles=cycle_count)

@@ -30,10 +30,11 @@ from ..core.packed import resolve_fidelity
 from ..core.perfmodel import (ReportingPerfModel, pu_fill_cycles_from_events,
                               sensitivity_slowdown)
 from ..errors import StageGraphError
+from ..exec.plan import ExecutionPlan
 from ..hwmodel import area
 from ..obs import trace_span
 from ..prefilter import gated_simulation
-from ..sim.engine import BitsetEngine
+from ..sim.engine import DEFAULT_STEP_CACHE, BitsetEngine
 from ..sim.inputs import stream_for, stream_shape
 from ..sim.reports import ReportRecorder
 from ..sim.stats import static_statistics
@@ -147,23 +148,49 @@ def _generate(params):
                               seed=params["seed"])
 
 
-def _run_simulation(engine, vectors, recorder, params):
-    """Dispatch a stage simulation through the chosen engine strategy.
+def _stage_plan(params):
+    """The :class:`ExecutionPlan` a stage's params select.
+
+    A ``plan`` key (the minimal ``param_payload`` form) wins; otherwise
+    the legacy per-knob keys (``batch``/``shards``/``prefilter``/
+    ``hotcold``/``fidelity``) map through
+    :meth:`ExecutionPlan.from_flags`, so both param surfaces funnel into
+    one validated value.  Either way the params are the sole key-salt
+    source: the experiment layer adds keys only when non-default, so
+    pre-existing artifact keys (and warm stores) are untouched for
+    default runs while planned/batched/sharded/gated runs are
+    content-addressed separately through :func:`canonical`.
+    """
+    payload = params.get("plan")
+    if payload is not None:
+        return ExecutionPlan.from_payload(payload)
+    return ExecutionPlan.from_flags(
+        batch=params.get("batch", 1),
+        shards=params.get("shards", 1),
+        prefilter=bool(params.get("prefilter")),
+        hotcold=params.get("hotcold"),
+        fidelity=params.get("fidelity", "auto"))
+
+
+def _stage_engine(automaton, plan):
+    """An engine honoring the plan's kernel/step-cache knobs."""
+    step_cache = (DEFAULT_STEP_CACHE if plan.step_cache is None
+                  else plan.step_cache)
+    return BitsetEngine(automaton, kernel=plan.kernel, step_cache=step_cache)
+
+
+def _run_simulation(engine, vectors, recorder, plan):
+    """Dispatch a stage simulation through the plan's engine strategy.
 
     ``shards=K`` splits the stream into K overlap-replayed blocks run
     back to back; ``batch=N`` runs the same N blocks as interleaved
     lanes of one pass (both are bit-exact vs ``engine.run``, pinned by
-    tests/test_batch_shard.py).  The experiment layer puts these keys in
-    the params only when > 1, so pre-existing artifact keys are
-    untouched while batched/sharded runs salt the key through
-    :func:`canonical` automatically.
+    tests/test_batch_shard.py).
     """
-    shards = params.get("shards", 1)
-    batch = params.get("batch", 1)
-    if shards == "auto" or shards > 1:
-        engine.run_sharded(vectors, shards, recorder, interleave=False)
-    elif batch > 1:
-        engine.run_sharded(vectors, batch, recorder, interleave=True)
+    if plan.shards == "auto" or plan.shards > 1:
+        engine.run_sharded(vectors, plan.shards, recorder, interleave=False)
+    elif plan.batch > 1:
+        engine.run_sharded(vectors, plan.batch, recorder, interleave=True)
     else:
         engine.run(vectors, recorder)
     return recorder
@@ -176,26 +203,30 @@ def _simulate8(params, instance):
     Records the full event stream (Table 4's AP replay needs it) and the
     active-state statistics (Table 1's dynamic columns need them).
 
-    ``prefilter=True`` routes the run through the two-stage literal
-    prefilter (:func:`repro.prefilter.gated_simulation`): reports stay
-    bit-exact, but active-state statistics are only kept when the gate
-    bypasses (a gated run skips most cycles).  The key is salted through
-    :func:`canonical` because the experiment layer adds the param only
-    when enabled, so gated and ungated artifacts never alias.
+    The execution strategy comes from the params' single ``plan`` value
+    (or the legacy per-knob keys; see :func:`_stage_plan`).  A gating
+    plan routes the run through the two-stage literal prefilter
+    (:func:`repro.prefilter.gated_simulation`): reports stay bit-exact,
+    but active-state statistics are only kept when the gate bypasses (a
+    gated run skips most cycles).  Non-default strategies are salted
+    into the key through :func:`canonical` because the experiment layer
+    adds the params only when enabled, so planned and default artifacts
+    never alias.
     """
-    if params.get("prefilter"):
+    plan = _stage_plan(params)
+    if plan.prefilter:
         recorder = ReportRecorder(keep_events=True)
         engine, gated = gated_simulation(
             instance.automaton, instance.input_bytes, recorder,
-            hotcold_coverage=params.get("hotcold"))
+            hotcold_coverage=plan.hotcold_coverage)
         cycles, _ = stream_shape(instance.automaton, instance.input_bytes)
         if engine is not None and not gated:
             return SimRun.from_engine(engine, recorder, cycles)
         return SimRun(recorder, cycles)
-    engine = BitsetEngine(instance.automaton)
+    engine = _stage_engine(instance.automaton, plan)
     recorder = ReportRecorder(keep_events=True)
     stream = list(instance.input_bytes)
-    _run_simulation(engine, stream, recorder, params)
+    _run_simulation(engine, stream, recorder, plan)
     return SimRun.from_engine(engine, recorder, len(stream))
 
 
@@ -213,20 +244,22 @@ def _to_rate(params, instance):
 def _simulate_strided(params, instance, strided):
     """Functional simulation of the strided machine over the same input.
 
-    ``prefilter=True`` gates the run on literals extracted from the
-    8-bit *source* machine; windows are mapped onto the strided
-    machine's cycles (see :func:`repro.prefilter.gated_simulation`).
+    A gating plan (or legacy ``prefilter=True``) gates the run on
+    literals extracted from the 8-bit *source* machine; windows are
+    mapped onto the strided machine's cycles (see
+    :func:`repro.prefilter.gated_simulation`).
     """
-    if params.get("prefilter"):
+    plan = _stage_plan(params)
+    if plan.prefilter:
         cycles, limit = stream_shape(strided, instance.input_bytes)
         recorder = ReportRecorder(keep_events=True, position_limit=limit)
         gated_simulation(strided, instance.input_bytes, recorder,
                          source=instance.automaton,
-                         hotcold_coverage=params.get("hotcold"))
+                         hotcold_coverage=plan.hotcold_coverage)
         return SimRun(recorder, cycles)
     vectors, limit = stream_for(strided, instance.input_bytes)
     recorder = ReportRecorder(keep_events=True, position_limit=limit)
-    _run_simulation(BitsetEngine(strided), vectors, recorder, params)
+    _run_simulation(_stage_engine(strided, plan), vectors, recorder, plan)
     return SimRun(recorder, len(vectors))
 
 
@@ -274,7 +307,7 @@ def _place(params, strided):
     (see docs/architecture.md).  Resolving it here also fails fast on a
     bad knob value.
     """
-    resolve_fidelity(params.get("fidelity", "auto"))
+    resolve_fidelity(_stage_plan(params).fidelity)
     return place(strided, SunderConfig(rate_nibbles=params["rate"]))
 
 
@@ -340,7 +373,7 @@ def _report_drain(params, instance, run8, strided_run, placement):
     Carries the device-fidelity knob in its params for the same
     key-salting reason as ``place``.
     """
-    resolve_fidelity(params.get("fidelity", "auto"))
+    resolve_fidelity(_stage_plan(params).fidelity)
     return drain_row(instance, run8, strided_run, placement,
                      rate=params["rate"], scale=params["scale"])
 
@@ -355,7 +388,7 @@ def _figure9_arch(params):
 @stage("figure10_point")
 def _figure10_point(params):
     """One sensitivity-sweep point (slowdown with/without summarization)."""
-    resolve_fidelity(params.get("fidelity", "auto"))
+    resolve_fidelity(_stage_plan(params).fidelity)
     fraction = params["pct"] / 100.0
     config = params["config"]
     return {
