@@ -3,7 +3,7 @@
 PYTHON ?= python
 SCALE ?= 0.02
 
-.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-prefilter bench-exec bench-check repro scorecard profile-smoke docs clean
+.PHONY: install test bench bench-engine bench-transform bench-runtime bench-device bench-batch bench-prefilter bench-exec bench-scale bench-check repro scorecard scorecard-paper profile-smoke docs clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -43,6 +43,11 @@ bench-prefilter:
 bench-exec:
 	$(PYTHON) scripts/bench_exec.py --scale 0.01 --repeats 5 --out BENCH_exec.json
 
+# Paper-scale transform trajectory (indexed kernel vs legacy oracle up
+# to scale 1.0); runs its full default ladder, takes a few minutes.
+bench-scale:
+	$(PYTHON) scripts/bench_scale.py --out BENCH_scale.json
+
 # Perf-regression gate: quick fresh runs of every suite with a committed
 # BENCH_*.json baseline, nonzero exit when speedups regress.
 bench-check:
@@ -53,6 +58,11 @@ repro:
 
 scorecard:
 	$(PYTHON) -m repro experiment scorecard --scale 0.01
+
+# Full paper-scale scorecard (the EXPERIMENTS.md wall-clock budget run);
+# opt-in because it takes tens of minutes on one core.
+scorecard-paper:
+	$(PYTHON) -m repro experiment scorecard --scale 1.0
 
 profile-smoke:
 	$(PYTHON) scripts/check_metrics_schema.py

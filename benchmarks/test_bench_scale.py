@@ -1,0 +1,68 @@
+"""Tier-2 smoke: the paper-scale benchmark payload validates its schema.
+
+Mirrors ``make bench-scale`` at the gating scale so drift in the
+``BENCH_scale.json`` trajectory format fails fast, and pins the headline
+acceptance figures on the committed baseline: the indexed kernel is
+bit-exact against the legacy oracle at every compared scale and at least
+3x faster (geomean) on machines of >= 5k nibble states.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import bench_scale  # noqa: E402
+
+BASELINE = pathlib.Path(__file__).resolve().parent.parent / "BENCH_scale.json"
+
+
+def test_bench_scale_payload_schema(tmp_path):
+    out = tmp_path / "BENCH_scale.json"
+    code = bench_scale.main([
+        "--scales", "0.02",
+        "--repeats", "1",
+        "--workloads", "Snort",
+        "--out", str(out),
+    ])
+    assert code == 0
+    payload = json.loads(out.read_text(encoding="utf-8"))
+    bench_scale.validate_payload(payload)
+    (row,) = payload["rows"]
+    assert row["name"] == "Snort"
+    assert row["bit_exact"] is True
+    metrics = bench_scale.extract_metrics(payload)
+    bands = bench_scale.extract_bands(payload)
+    assert set(metrics) == {"square_speedup:Snort"}
+    assert set(bands) == set(metrics)
+
+
+def test_validate_payload_rejects_drift():
+    with pytest.raises(ValueError):
+        bench_scale.validate_payload({"schema": "something-else"})
+    payload = bench_scale.run_suite(scales=(0.02,), repeats=1,
+                                    workloads=("SPM",))
+    bench_scale.validate_payload(payload)
+    broken = json.loads(json.dumps(payload))
+    broken["rows"][0]["bit_exact"] = False
+    with pytest.raises(ValueError, match="diverged"):
+        bench_scale.validate_payload(broken)
+
+
+def test_committed_baseline_meets_acceptance():
+    payload = json.loads(BASELINE.read_text(encoding="utf-8"))
+    bench_scale.validate_payload(payload)
+    # The ladder must actually reach paper scale with the oracle measured
+    # there (not extrapolated), every comparison bit-exact.
+    assert 1.0 in payload["scales"]
+    paper_rows = [row for row in payload["rows"] if row["scale"] == 1.0]
+    assert paper_rows and all(
+        row["legacy_seconds"] is not None for row in paper_rows)
+    assert all(row["bit_exact"] for row in payload["rows"]
+               if row["legacy_seconds"] is not None)
+    # The headline claim: >= 3x geomean on machines >= 5k nibble states.
+    assert payload["large_states_floor"] == 5000
+    assert payload["speedup_geomean_large"] >= 3.0

@@ -1,0 +1,306 @@
+"""Paper-scale transform benchmark suite -> ``BENCH_scale.json``.
+
+Usage:  python scripts/bench_scale.py [--scales S ...] [--repeats N]
+                                      [--legacy-max-scale S] [--out PATH]
+
+Measures how the compile-side pipeline approaches paper scale
+(``--scale 1.0``), per workload and per scale:
+
+- **square+minimize** — the indexed kernel (``_square(minimized=True)``,
+  the production path) against the legacy string-graph oracle
+  (``square_unindexed``), with bit-exactness checked whenever both run.
+  The oracle is timed twice: as the pre-indexed pipeline actually ran
+  (cyclic collector enabled — ``legacy_seconds``, the headline
+  ``speedup`` denominator, i.e. what this tree delivers over the old
+  path) and with the collector paused like the indexed kernel
+  (``legacy_paused_seconds`` -> ``speedup_kernel``, isolating the
+  algorithmic win from the allocation-burst GC pause).
+  ``--legacy-max-scale`` caps the scale at which the oracle still runs
+  (default: every scale, so the committed baseline measures the oracle
+  at paper scale too — its growing disadvantage there is the headline);
+- **end-to-end** — a cold ``to_rate(machine, 4)`` wall-clock through the
+  memoized pipeline (nibble -> two squarings), the figure the
+  EXPERIMENTS.md wall-clock budget is built from.
+
+The regression gate compares only rows at the *gating scale* (the first
+``--scales`` entry, default 0.02 — same as ``QUICK_PARAMS``), so quick
+runs and the committed full-scan baseline stay comparable; larger-scale
+rows are trajectory data.  Run via ``make bench-scale``.
+"""
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.automata import gcutil  # noqa: E402
+from repro.transform import cache as transform_cache  # noqa: E402
+from repro.transform import to_nibbles, to_rate  # noqa: E402
+from repro.transform.striding import _square, square_unindexed  # noqa: E402
+from repro.workloads.registry import generate  # noqa: E402
+
+#: Schema identifier written into (and required from) every payload.
+SCHEMA = "repro-bench-scale"
+SCHEMA_VERSION = 1
+
+#: Scale ladder of the committed baseline (the paper's point is 1.0).
+DEFAULT_SCALES = (0.02, 0.1, 0.5, 1.0)
+
+#: Workloads spanning the suite's structure: Snort (dense byte rules,
+#: report-heavy) and SPM (the largest machine per unit scale).
+DEFAULT_WORKLOADS = ("Snort", "SPM")
+
+#: Largest scale at which the legacy oracle still runs by default.  The
+#: full ladder includes paper scale: the oracle's superlinear degradation
+#: there is exactly what the indexed core fixes, so the committed
+#: baseline measures it rather than extrapolating.
+DEFAULT_LEGACY_MAX_SCALE = 1.0
+
+#: State-count floor for the headline geomean (the issue's acceptance
+#: bar targets machines of at least this many nibble states).
+LARGE_STATES_FLOOR = 5000
+
+#: Repeats per timing (best-of); single runs swing 20-30% on a loaded
+#: machine, and the gate consumes the best/worst band.
+DEFAULT_REPEATS = 3
+
+#: ``repro bench run --quick`` overrides: gating scale only (tiny
+#: machines time in milliseconds, so the default repeats stay).
+QUICK_PARAMS = {"scales": (0.02,)}
+
+
+def _spread(func, repeats):
+    """(best, worst wall seconds, last result) over ``repeats`` runs."""
+    best = math.inf
+    worst = 0.0
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = func()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        worst = max(worst, elapsed)
+    return best, worst, result
+
+
+def bench_row(name, scale, seed, repeats, legacy_max_scale):
+    """Square+minimize and end-to-end timings for one (workload, scale)."""
+    automaton = generate(name, scale=scale, seed=seed).automaton
+    transform_cache.configure()
+    nibble = to_nibbles(automaton)
+
+    indexed_best, indexed_worst, squared = _spread(
+        lambda: _square(nibble, minimized=True, name=None), repeats)
+
+    legacy_best = legacy_worst = legacy_paused_best = None
+    bit_exact = None
+    speedup = None
+    speedup_kernel = None
+    speedup_band = None
+    if scale <= legacy_max_scale:
+        with gcutil.pausing_suspended():
+            # The oracle as the pre-indexed pipeline ran it: collector
+            # enabled, so every generational collection walks the heap
+            # mid-burst.  This is the cost the indexed path replaced.
+            legacy_best, legacy_worst, legacy_machine = _spread(
+                lambda: square_unindexed(nibble, minimized=True), repeats)
+        legacy_paused_best, _, _ = _spread(
+            lambda: square_unindexed(nibble, minimized=True), repeats)
+        bit_exact = legacy_machine.dumps() == squared.dumps()
+        speedup = legacy_best / indexed_best
+        speedup_kernel = legacy_paused_best / indexed_best
+        speedup_band = [legacy_best / indexed_worst,
+                        legacy_worst / indexed_best]
+
+    transform_cache.configure()
+    e2e_start = time.perf_counter()
+    to_rate(automaton, 4)
+    e2e_seconds = time.perf_counter() - e2e_start
+    transform_cache.configure()  # leave no benchmark state behind
+
+    return {
+        "name": name,
+        "scale": scale,
+        "byte_states": len(automaton),
+        "nibble_states": len(nibble),
+        "squared_states": len(squared),
+        "indexed_seconds": indexed_best,
+        "legacy_seconds": legacy_best,
+        "legacy_paused_seconds": legacy_paused_best,
+        "speedup": speedup,
+        "speedup_kernel": speedup_kernel,
+        "speedup_band": speedup_band,
+        "bit_exact": bit_exact,
+        "end_to_end_rate4_seconds": e2e_seconds,
+    }
+
+
+def _geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def run_suite(scales=DEFAULT_SCALES, seed=0, repeats=DEFAULT_REPEATS,
+              workloads=DEFAULT_WORKLOADS,
+              legacy_max_scale=DEFAULT_LEGACY_MAX_SCALE, progress=None):
+    """Measure everything; returns the BENCH_scale payload dict."""
+    scales = tuple(scales)
+    rows = []
+    for scale in scales:
+        for name in workloads:
+            if progress is not None:
+                progress("bench-scale: %s @ %g ..." % (name, scale))
+            rows.append(bench_row(name, scale, seed, repeats,
+                                  legacy_max_scale))
+    compared = [row["speedup"] for row in rows if row["speedup"]]
+    large = [row["speedup"] for row in rows
+             if row["speedup"] and row["nibble_states"] >= LARGE_STATES_FLOOR]
+    kernel_large = [row["speedup_kernel"] for row in rows
+                    if row["speedup_kernel"]
+                    and row["nibble_states"] >= LARGE_STATES_FLOOR]
+    payload = {
+        "version": SCHEMA_VERSION,
+        "schema": SCHEMA,
+        "scale": scales[0],
+        "scales": list(scales),
+        "seed": seed,
+        "repeats": repeats,
+        "legacy_max_scale": legacy_max_scale,
+        "code_version": transform_cache.CODE_VERSION,
+        "workloads": list(workloads),
+        "rows": rows,
+        "speedup_geomean": _geomean(compared) if compared else None,
+        "speedup_geomean_large": _geomean(large) if large else None,
+        "speedup_kernel_geomean_large":
+            _geomean(kernel_large) if kernel_large else None,
+        "large_states_floor": LARGE_STATES_FLOOR,
+    }
+    return payload
+
+
+def extract_metrics(payload):
+    """Figures of merit for the regression gate (gating-scale rows only).
+
+    Only speedups are gated: wall-clock seconds swing with machine load,
+    and larger-scale rows do not exist in quick runs.
+    """
+    gate_scale = payload["scale"]
+    metrics = {}
+    for row in payload["rows"]:
+        if row["scale"] == gate_scale and row["speedup"]:
+            metrics["square_speedup:%s" % row["name"]] = row["speedup"]
+    return metrics
+
+
+def extract_bands(payload):
+    """Per-metric ``[lo, hi]`` noise bands from the repeat extremes."""
+    gate_scale = payload["scale"]
+    return {"square_speedup:%s" % row["name"]: row["speedup_band"]
+            for row in payload["rows"]
+            if row["scale"] == gate_scale and row["speedup_band"]}
+
+
+def _require(condition, message):
+    if not condition:
+        raise ValueError("BENCH_scale payload invalid: %s" % message)
+
+
+def validate_payload(payload):
+    """Schema check for the trajectory file; raises ValueError on drift.
+
+    Returns the payload unchanged so callers can chain.
+    """
+    _require(isinstance(payload, dict), "expected an object")
+    _require(payload.get("schema") == SCHEMA, "schema != %r" % SCHEMA)
+    _require(payload.get("version") == SCHEMA_VERSION,
+             "version != %d" % SCHEMA_VERSION)
+    for field in ("scale", "seed", "repeats", "legacy_max_scale"):
+        _require(isinstance(payload.get(field), (int, float)),
+                 "%s must be a number" % field)
+    _require(isinstance(payload.get("code_version"), str), "code_version")
+    scales = payload.get("scales")
+    _require(isinstance(scales, list) and scales, "scales must be non-empty")
+    _require(payload["scale"] == scales[0],
+             "gating scale must be the first scales entry")
+    rows = payload.get("rows")
+    _require(isinstance(rows, list) and rows, "rows must be non-empty")
+    for row in rows:
+        _require(isinstance(row.get("name"), str), "row name")
+        _require(row.get("scale") in scales, "row scale not in scales")
+        for field in ("byte_states", "nibble_states", "squared_states"):
+            _require(isinstance(row.get(field), int) and row[field] > 0,
+                     "%s must be a positive int" % field)
+        _require(row.get("indexed_seconds", 0) > 0, "indexed_seconds")
+        _require(row.get("end_to_end_rate4_seconds", 0) > 0,
+                 "end_to_end_rate4_seconds")
+        if row.get("legacy_seconds") is not None:
+            _require(row["legacy_seconds"] > 0, "legacy_seconds")
+            _require(row.get("legacy_paused_seconds", 0) > 0,
+                     "legacy_paused_seconds")
+            _require(row.get("bit_exact") is True,
+                     "indexed kernel diverged from the legacy oracle")
+            _require(row.get("speedup", 0) > 0, "speedup")
+            _require(row.get("speedup_kernel", 0) > 0, "speedup_kernel")
+            band = row.get("speedup_band")
+            _require(isinstance(band, list) and len(band) == 2
+                     and 0 < band[0] <= band[1], "speedup_band")
+    gated = [row for row in rows
+             if row["scale"] == payload["scale"] and row.get("speedup")]
+    _require(gated, "no gating-scale rows with a legacy comparison")
+    if payload.get("speedup_geomean") is not None:
+        _require(payload["speedup_geomean"] > 0, "speedup_geomean")
+    if payload.get("speedup_geomean_large") is not None:
+        _require(payload["speedup_geomean_large"] > 0,
+                 "speedup_geomean_large")
+    return payload
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scales", nargs="+", type=float,
+                        default=list(DEFAULT_SCALES))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--repeats", type=int, default=DEFAULT_REPEATS)
+    parser.add_argument("--workloads", nargs="+", default=DEFAULT_WORKLOADS)
+    parser.add_argument("--legacy-max-scale", type=float,
+                        default=DEFAULT_LEGACY_MAX_SCALE)
+    parser.add_argument("--out", default="BENCH_scale.json")
+    args = parser.parse_args(argv)
+
+    payload = run_suite(scales=args.scales, seed=args.seed,
+                        repeats=args.repeats, workloads=args.workloads,
+                        legacy_max_scale=args.legacy_max_scale,
+                        progress=lambda line: print(line, flush=True))
+    validate_payload(payload)
+    pathlib.Path(args.out).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    for row in payload["rows"]:
+        legacy = ("legacy %8.2fs  %5.1fx (%.1fx kernel)"
+                  % (row["legacy_seconds"], row["speedup"],
+                     row["speedup_kernel"])
+                  if row["legacy_seconds"] is not None
+                  else "legacy   (gated)")
+        print("%-6s @ %-4g %7d nibble states  indexed %8.2fs  %s  "
+              "e2e(rate4) %8.2fs" % (
+                  row["name"], row["scale"], row["nibble_states"],
+                  row["indexed_seconds"], legacy,
+                  row["end_to_end_rate4_seconds"]))
+    if payload["speedup_geomean"] is not None:
+        print("square+minimize speedup geomean: %.2fx" %
+              payload["speedup_geomean"])
+    if payload["speedup_geomean_large"] is not None:
+        print("speedup geomean (>=%d states): %.2fx (%.2fx with the "
+              "oracle's collector also paused)" % (
+                  payload["large_states_floor"],
+                  payload["speedup_geomean_large"],
+                  payload["speedup_kernel_geomean_large"]))
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

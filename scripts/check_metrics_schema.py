@@ -50,8 +50,10 @@ REQUIRED_METRICS = (
     "repro_engine_active_states",
     "repro_transform_runs_total",
     "repro_transform_stage_seconds",
+    "repro_transform_states",
     "repro_runtime_stage_misses_total",
     "repro_runtime_stage_seconds",
+    "repro_stage_progress",
     "repro_experiment_runs_total",
     "repro_experiment_seconds",
     "repro_parallel_jobs_total",
@@ -80,6 +82,7 @@ REQUIRED_SPANS = (
     "stage.report_drain",
     "engine.run",
     "reporting.drain_model",
+    "transform.indexed",
 )
 #: Prefilter instruments pinned by the gated mini-run below.
 PREFILTER_REQUIRED_METRICS = (

@@ -11,6 +11,7 @@ import hashlib
 import json
 
 from ..errors import AutomatonError
+from ..obs import OBS
 from .ste import StartKind, Ste
 from .symbolset import SymbolSet
 
@@ -213,10 +214,33 @@ class Automaton:
         return set(self._states) - seen
 
     def prune_unreachable(self):
-        """Drop unreachable states in place; returns the number removed."""
+        """Drop unreachable states in place; returns the number removed.
+
+        A handful of dead states are unlinked individually; a large dead
+        set (the common case right after ``square`` builds its pair
+        states) switches to rebuilding the three dicts in one filtered
+        pass — same surviving states in the same insertion order, same
+        edge sets, so the result is identical either way
+        (:meth:`unreachable_states` stays the oracle for both paths).
+        """
         dead = self.unreachable_states()
-        for state_id in dead:
-            self.remove_state(state_id)
+        if not dead:
+            return 0
+        if len(dead) * 8 < len(self._states):
+            for state_id in dead:
+                self.remove_state(state_id)
+            return len(dead)
+        # Successors of a reachable state are always reachable, so only
+        # predecessor rows need filtering (dead -> live edges exist).
+        states = {state_id: ste for state_id, ste in self._states.items()
+                  if state_id not in dead}
+        self._states = states
+        self._succ = {state_id: self._succ[state_id] for state_id in states}
+        pred = {}
+        for state_id in states:
+            row = self._pred[state_id]
+            pred[state_id] = (row - dead) if row & dead else row
+        self._pred = pred
         return len(dead)
 
     def depth_bound(self):
@@ -273,6 +297,42 @@ class Automaton:
         for src, dst in self.transitions():
             duplicate.add_transition(src, dst)
         return duplicate
+
+    def shallow_clone(self, name=None):
+        """Copy sharing the (immutable-once-compiled) STE objects.
+
+        Edge sets and the state dict are fresh, so graph mutations on
+        the clone never touch the source — but the STEs themselves are
+        shared, which is what makes a rename-only copy (``stride``
+        factor 1, cache-hit relabeling) O(states) dict work instead of
+        a full re-validation pass.  Use :meth:`copy` when the caller
+        may mutate STE fields in place.
+        """
+        duplicate = Automaton(
+            name=name if name is not None else self.name,
+            bits=self.bits,
+            arity=self.arity,
+            start_period=self.start_period,
+        )
+        duplicate._states = dict(self._states)
+        duplicate._succ = {src: set(dsts) for src, dsts in self._succ.items()}
+        duplicate._pred = {dst: set(srcs) for dst, srcs in self._pred.items()}
+        return duplicate
+
+    @classmethod
+    def _from_graph(cls, name, bits, arity, start_period, states, succ, pred):
+        """Trusted constructor: install pre-built graph dicts directly.
+
+        The indexed transform kernels materialize their results through
+        this hook — the dicts must already satisfy :meth:`validate`'s
+        invariants (callers run ``validate()`` on the result).
+        """
+        automaton = cls(name=name, bits=bits, arity=arity,
+                        start_period=start_period)
+        automaton._states = states
+        automaton._succ = succ
+        automaton._pred = pred
+        return automaton
 
     def relabeled(self, prefix="q"):
         """Copy with dense integer ids ``<prefix><n>``; returns the copy."""
@@ -423,13 +483,26 @@ class Automaton:
             raise AutomatonError("cannot merge automata of different shapes")
         if other.start_period != self.start_period:
             raise AutomatonError("cannot merge automata with different start periods")
+        # Intern every prefixed id once up front; the edge loops below
+        # then move whole rows through the mapping instead of going
+        # through per-edge add_transition bookkeeping.
+        states = self._states
         mapping = {}
+        for state_id in other._states:
+            new_id = "%s%s" % (prefix, state_id)
+            if new_id in states:
+                raise AutomatonError("duplicate state id %r" % (new_id,))
+            mapping[state_id] = new_id
+        succ = self._succ
+        pred = self._pred
         for state in other:
-            new_id = "%s%s" % (prefix, state.id)
-            mapping[state.id] = new_id
-            self.add_state(state.clone(new_id))
-        for src, dst in other.transitions():
-            self.add_transition(mapping[src], mapping[dst])
+            new_id = mapping[state.id]
+            states[new_id] = state.clone(new_id)
+            succ[new_id] = {mapping[dst] for dst in other._succ[state.id]}
+            pred[new_id] = {mapping[src] for src in other._pred[state.id]}
+        if OBS.active:
+            OBS.instruments.transform_states.labels(op="merge_in").set(
+                len(states))
         return mapping
 
     # ------------------------------------------------------------------

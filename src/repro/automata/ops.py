@@ -8,7 +8,10 @@ nibble transformation's state overhead near the paper's Table 3 numbers.
 
 from collections import deque
 
+from ..obs import OBS
 from .automaton import Automaton
+from .gcutil import gc_paused
+from .indexed import IndexedAutomaton
 
 
 def connected_components(automaton):
@@ -228,17 +231,101 @@ def _prefix_protected(automaton):
     )
 
 
+#: In-process memo of fingerprints whose machines are known minimal
+#: (bounded FIFO); probed before any minimization work is done.
+_MINIMAL_FINGERPRINTS = {}
+_MINIMAL_LIMIT = 4096
+#: Cache-key op for the cross-process known-minimal markers stored in
+#: the transform cache (content-addressed by fingerprint, like traits).
+MINIMAL_OP = "minimal"
+
+
+def _minimal_marker_store():
+    """The transform cache's generic store interface, or ``None``.
+
+    Imported lazily: ``repro.transform`` depends on this package, so a
+    module-level import would be circular.
+    """
+    try:
+        from ..transform import cache as transform_cache
+        return transform_cache.get_cache()
+    except Exception:  # pragma: no cover - import/config failures
+        return None
+
+
+def _is_known_minimal(fingerprint):
+    """Whether ``fingerprint`` was recorded as a minimal machine."""
+    if fingerprint in _MINIMAL_FINGERPRINTS:
+        return True
+    store = _minimal_marker_store()
+    if store is None:
+        return False
+    if store.has_marker(MINIMAL_OP, fingerprint):
+        _remember_minimal(fingerprint)
+        return True
+    return False
+
+
+def _remember_minimal(fingerprint):
+    if len(_MINIMAL_FINGERPRINTS) >= _MINIMAL_LIMIT:
+        _MINIMAL_FINGERPRINTS.pop(next(iter(_MINIMAL_FINGERPRINTS)))
+    _MINIMAL_FINGERPRINTS[fingerprint] = True
+
+
+def _record_minimal(fingerprint):
+    """Record ``fingerprint`` in-process and in the transform cache."""
+    _remember_minimal(fingerprint)
+    store = _minimal_marker_store()
+    if store is not None:
+        store.put_marker(MINIMAL_OP, fingerprint)
+
+
+@gc_paused
 def minimize(automaton, max_rounds=32):
     """Partition-refinement minimization; returns states removed.
 
     This is the hardware-aware minimization FlexAmata applies after
-    bitwise decomposition.  One cheap exact-signature screening pass
-    (one suffix + one prefix merge) runs first: on an already-minimal
-    machine — the common case for compiled registry workloads — it
-    removes nothing and minimization stops at the cost of a single
-    scan.  When the screen does find merges, the full partition
-    refinement takes over and computes each direction's coarsest stable
-    partition in one pass over the static graph:
+    bitwise decomposition.  Semantics are documented on
+    :func:`minimize_unindexed` (the direct string-graph implementation,
+    kept as the differential oracle); this entry point runs the same
+    screen-then-refine algorithm over the dense
+    :class:`~repro.automata.indexed.IndexedAutomaton` view — interned
+    behaviour ids, integer adjacency rows, bitmask liveness — and
+    writes the surviving graph back in place.  Output is bit-exact
+    against the oracle (``tests/test_indexed.py``).
+
+    Machines whose fingerprint the cache already recorded as minimal
+    (a previous ``minimize`` left them unchanged or produced them) are
+    skipped outright: the fingerprint probe costs one canonical hash
+    instead of a full screening pass.
+    """
+    fingerprint = automaton.fingerprint()
+    if _is_known_minimal(fingerprint):
+        return 0
+    indexed = IndexedAutomaton.from_automaton(automaton)
+    total = indexed.minimize(max_rounds=max_rounds)
+    if total:
+        indexed.write_back(automaton)
+        _record_minimal(automaton.fingerprint())
+    else:
+        _record_minimal(fingerprint)
+    if OBS.active:
+        OBS.instruments.transform_states.labels(op="minimize").set(
+            len(automaton))
+    return total
+
+
+@gc_paused
+def minimize_unindexed(automaton, max_rounds=32):
+    """Partition-refinement minimization on the string graph (oracle).
+
+    One cheap exact-signature screening pass (one suffix + one prefix
+    merge) runs first: on an already-minimal machine — the common case
+    for compiled registry workloads — it removes nothing and
+    minimization stops at the cost of a single scan.  When the screen
+    does find merges, the full partition refinement takes over and
+    computes each direction's coarsest stable partition in one pass
+    over the static graph:
 
     - **suffix** — states in one block share behaviour and see the same
       successor blocks, hence the same right language, so their incoming
@@ -255,7 +342,9 @@ def minimize(automaton, max_rounds=32):
 
     The two directions alternate until neither shrinks the machine —
     typically one refinement round plus one (much smaller) verification
-    round.
+    round.  :func:`minimize` runs this exact algorithm over the indexed
+    view; this direct implementation is retained as its differential
+    oracle (like :func:`minimize_legacy` before it).
     """
     total = merge_suffix_equivalent(automaton)
     total += merge_prefix_equivalent(automaton)
@@ -310,6 +399,8 @@ def union(automata, name="union", bits=None, arity=None):
     )
     for index, machine in enumerate(automata):
         result.merge_in(machine, "u%d_" % index)
+    if OBS.active:
+        OBS.instruments.transform_states.labels(op="union").set(len(result))
     return result
 
 

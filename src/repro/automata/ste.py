@@ -134,14 +134,18 @@ class Ste:
                 self.report_offsets)
 
     def clone(self, state_id=None):
-        """Copy this STE, optionally renaming it."""
-        return Ste(
+        """Copy this STE, optionally renaming it.
+
+        Every field of an existing STE is already canonical (validated
+        at construction), so the copy skips ``__init__`` validation —
+        cloning is the inner loop of ``Automaton.copy`` and the
+        transform cache's put path, where re-validating hundreds of
+        thousands of states per pipeline run was pure overhead.
+        """
+        return ste_from_canonical(
             state_id if state_id is not None else self.id,
-            self.symbols,
-            start=self.start,
-            report=self.report,
-            report_code=self.report_code,
-            report_offsets=self.report_offsets if self.report else None,
+            self.symbols, self.start, self.report,
+            self.report_code, self.report_offsets,
         )
 
     def __repr__(self):
@@ -153,3 +157,26 @@ class Ste:
         label = "x".join(s.to_charclass() for s in self.symbols)
         suffix = (" " + ",".join(flags)) if flags else ""
         return "Ste(%r, %s%s)" % (self.id, label, suffix)
+
+
+def ste_from_canonical(state_id, symbols, start, report, report_code,
+                       report_offsets):
+    """Build an :class:`Ste` from already-canonical fields, skipping
+    ``__init__`` validation.
+
+    Callers must guarantee the invariants ``__init__`` enforces:
+    ``symbols`` is a non-empty uniform-width tuple, ``start`` is a
+    :class:`StartKind`, ``report_offsets`` is a sorted deduplicated
+    in-range tuple that is non-empty exactly when ``report`` is true,
+    and ``report_code`` is ``None`` when ``report`` is false.  The
+    indexed transform kernels and :meth:`Ste.clone` satisfy this by
+    construction (their inputs come from validated STEs).
+    """
+    ste = object.__new__(Ste)
+    ste.id = state_id
+    ste.symbols = symbols
+    ste.start = start
+    ste.report = report
+    ste.report_code = report_code
+    ste.report_offsets = report_offsets
+    return ste

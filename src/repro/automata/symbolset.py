@@ -46,7 +46,7 @@ class SymbolSet:
         Bitmask of members; bit ``i`` set means symbol ``i`` is in the set.
     """
 
-    __slots__ = ("bits", "mask")
+    __slots__ = ("bits", "mask", "_hash")
 
     def __init__(self, bits, mask=0):
         if bits < 1 or bits > 24:
@@ -259,7 +259,15 @@ class SymbolSet:
         )
 
     def __hash__(self):
-        return hash((self.bits, self.mask))
+        # Sets are immutable, and transform interning hashes the same
+        # instances over and over — cache on first use.  (Slot assignment
+        # goes through object.__setattr__; __setattr__ blocks everything.)
+        try:
+            return self._hash
+        except AttributeError:
+            value = hash((self.bits, self.mask))
+            object.__setattr__(self, "_hash", value)
+            return value
 
     def __repr__(self):
         return "SymbolSet(bits=%d, %s)" % (self.bits, self.to_charclass())

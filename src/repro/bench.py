@@ -46,7 +46,7 @@ SCHEMA_VERSION = 2
 
 #: Every known suite, in the order run/compare/check process them.
 SUITE_NAMES = ("engine", "transform", "runtime", "device", "batch",
-               "prefilter", "exec")
+               "prefilter", "exec", "scale")
 
 #: Fail a suite when the geomean current/baseline ratio drops below this.
 DEFAULT_TOLERANCE = 0.75

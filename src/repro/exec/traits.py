@@ -20,6 +20,7 @@ the master object.
 import json
 import weakref
 
+from ..automata.indexed import IndexedAutomaton
 from ..errors import ArtifactError
 from ..prefilter.literals import extract_literals
 from ..runtime.store import ArtifactStore, Codec
@@ -118,7 +119,10 @@ _TRAITS_MEMO = weakref.WeakKeyDictionary()
 
 
 def _compute_traits(automaton):
-    depth = automaton.depth_bound()
+    # The dense-integer view walks the graph without touching string
+    # ids; its depth_bound is pinned bit-equal to Automaton.depth_bound
+    # by tests/test_indexed.py.
+    depth = IndexedAutomaton.from_automaton(automaton).depth_bound()
     if automaton.bits == 8 and automaton.arity == 1:
         extraction = extract_literals(automaton)
         filterable = extraction.filterable

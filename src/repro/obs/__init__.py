@@ -46,6 +46,8 @@ from .metrics import (
 from .schema import validate_snapshot
 from .spans import NULL_SPAN, Span, TraceCollector
 
+from .progress import ProgressReporter, stage_progress
+
 
 class ObservabilityState:
     """The process-wide collector switchboard.
@@ -146,6 +148,7 @@ __all__ = [
     "OBS",
     "ObservabilityError",
     "ObservabilityState",
+    "ProgressReporter",
     "REGISTRY",
     "Span",
     "TraceCollector",
@@ -154,6 +157,7 @@ __all__ = [
     "detach",
     "instrumented_experiment",
     "instruments_for",
+    "stage_progress",
     "trace_span",
     "validate_snapshot",
 ]

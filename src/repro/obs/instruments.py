@@ -200,6 +200,11 @@ class Instruments:
             "repro_transform_transition_ratio",
             "Output/input transition ratio per transformation stage.",
             ("stage",), buckets=RATIO_BUCKETS)
+        self.transform_states = gauge(
+            "repro_transform_states",
+            "Resulting state count of the last compile-side graph op "
+            "(square/minimize/merge_in/union), by op — compile-side "
+            "state growth made visible in profiles.", ("op",))
 
         # --- transform cache (repro.transform.cache) ------------------
         self.transform_cache_hits = counter(
@@ -234,6 +239,12 @@ class Instruments:
             "repro_runtime_artifact_bytes_written_total",
             "Bytes of artifact JSON written by the runtime store's disk "
             "tier.")
+        self.stage_progress = gauge(
+            "repro_stage_progress",
+            "Completion fraction (0..1) of the most recent execution of "
+            "each long-running stage; long kernels update it "
+            "periodically so paper-scale runs are observable mid-stage.",
+            ("stage",))
 
         # --- execution planner (repro.exec) ---------------------------
         self.plan_selected = counter(

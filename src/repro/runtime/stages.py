@@ -32,7 +32,7 @@ from ..core.perfmodel import (ReportingPerfModel, pu_fill_cycles_from_events,
 from ..errors import StageGraphError
 from ..exec.plan import ExecutionPlan
 from ..hwmodel import area
-from ..obs import trace_span
+from ..obs import stage_progress, trace_span
 from ..prefilter import gated_simulation
 from ..sim.engine import DEFAULT_STEP_CACHE, BitsetEngine
 from ..sim.inputs import stream_for, stream_shape
@@ -127,8 +127,10 @@ def _execute_stage_job(job):
              for key, value in params.items()
              if isinstance(value, (str, int, float, bool))}
     start = perf_counter()
+    stage_progress(name, 0.0)
     with trace_span("stage." + name, **attrs):
         result = entry.func(params, *dep_values)
+    stage_progress(name, 1.0)
     return result, perf_counter() - start
 
 

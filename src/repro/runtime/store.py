@@ -165,7 +165,10 @@ class ArtifactStore:
         self._record("stores", context=context)
         if self.directory is None:
             return
-        text = codec.encode(obj)
+        self._disk_put(key, codec.encode(obj))
+
+    def _disk_put(self, key, text):
+        """Atomically write one artifact to the disk tier."""
         path = self._path(key)
         tmp = "%s.tmp.%d.%d" % (path, os.getpid(), threading.get_ident())
         try:

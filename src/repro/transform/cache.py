@@ -27,7 +27,7 @@ import threading
 
 from ..automata.automaton import Automaton
 from ..obs import OBS, trace_span
-from ..runtime.store import ArtifactStore, Codec
+from ..runtime.store import ArtifactStore, Codec, JsonCodec
 
 #: Pipeline code-version salt mixed into every cache key.  Bump this
 #: whenever ``to_nibbles``/``square``/``stride``/``minimize`` semantics
@@ -61,6 +61,9 @@ class AutomatonCodec(Codec):
 
 #: Shared codec instance (stateless).
 AUTOMATON_CODEC = AutomatonCodec()
+
+#: Codec for tiny presence markers (e.g. "this fingerprint is minimal").
+MARKER_CODEC = JsonCodec(kind="marker")
 
 
 class TransformCache(ArtifactStore):
@@ -110,6 +113,35 @@ class TransformCache(ArtifactStore):
         result = build()
         self.put(key, result, op=op)
         return result, None
+
+    # -- presence markers ----------------------------------------------
+    @staticmethod
+    def marker_key(op, fingerprint):
+        """Content-addressed key for a fingerprint presence marker."""
+        digest = hashlib.sha256()
+        digest.update(("%s\x00%s\x00%s" % (
+            CODE_VERSION, op, fingerprint,
+        )).encode("utf-8"))
+        return "marker-%s" % digest.hexdigest()
+
+    def has_marker(self, op, fingerprint):
+        """Whether a marker for ``(op, fingerprint)`` is on disk.
+
+        Markers skip the memory LRU on purpose: callers keep their own
+        in-process memo (see ``repro.automata.ops``), and letting tiny
+        flags churn the LRU would evict real automaton masters.
+        """
+        if self.directory is None:
+            return False
+        return self._disk_get(self.marker_key(op, fingerprint),
+                              MARKER_CODEC, op) is not None
+
+    def put_marker(self, op, fingerprint):
+        """Record a ``(op, fingerprint)`` marker in the disk tier."""
+        if self.directory is None:
+            return
+        self._disk_put(self.marker_key(op, fingerprint),
+                       MARKER_CODEC.encode(True))
 
     # -- telemetry -----------------------------------------------------
     def _code_version(self):

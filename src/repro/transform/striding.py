@@ -33,10 +33,12 @@ future input, preserving the unstrided semantics.
 """
 
 from ..automata.automaton import Automaton
-from ..automata.ops import minimize
-from ..automata.ste import StartKind
+from ..automata.gcutil import gc_paused
+from ..automata.indexed import IndexedAutomaton
+from ..automata.ste import StartKind, ste_from_canonical
 from ..automata.symbolset import SymbolSet
 from ..errors import TransformError
+from ..obs import OBS, ProgressReporter
 from .cache import memoize
 
 #: Sentinel ids for wildcard halves in generated state names.
@@ -57,12 +59,324 @@ def square(automaton, minimized=True, name=None):
             "cannot square an automaton with odd start period %d"
             % automaton.start_period
         )
-    return memoize("square", automaton,
-                   lambda: _square(automaton, minimized, name),
+    def build():
+        result = _square(automaton, minimized, name).validate()
+        if minimized:
+            # Cache-layer bookkeeping, deliberately outside the kernel:
+            # mark the fresh build minimal so later minimize() calls on
+            # the same machine (same fingerprint) short-circuit.
+            from ..automata.ops import _record_minimal
+
+            _record_minimal(result.fingerprint())
+        return result
+
+    return memoize("square", automaton, build,
                    minimized=minimized, name=name)
 
 
+@gc_paused
 def _square(automaton, minimized, name):
+    """Indexed squaring kernel (see :func:`square_unindexed` for the
+    construction walkthrough; this builds the same machine).
+
+    The whole construction runs on dense integers.  Pair/remnant/phase
+    states are rows in flat parallel arrays — ``(first, second)`` source
+    index pairs, nothing else: no id strings, no dict keys, no
+    :class:`Ste` objects.  Creation never needs a dedup map because each
+    row key occurs exactly once (pairs come off unique edges, remnants
+    and phase states once per source state), and a source state's rows
+    are consecutive, so its legacy ``entry_points`` list is just a
+    ``range``.  The transition fan-out list of each second half is
+    *shared* (one list object per source state) rather than copied into
+    per-row sets, pruning is a flat-flag BFS over those rows, and only
+    the surviving states ever get an id string or an STE.  Behaviour
+    signatures — needed only by minimization — are interned for
+    survivors from the source halves' interned symbol tuples (equality
+    of the ``(first-half, second-half)`` id pairs is exactly equality of
+    the materialized ``Ste.behavior_key()``s, since the concatenation
+    split point is fixed at ``arity``).
+
+    Creation order, the ``succ_entries`` fan-out order, the reachability
+    semantics, and the minimization algorithm all replay the legacy
+    kernel exactly, so the output is bit-identical —
+    ``tests/test_indexed.py`` pins ``dumps()`` equality.
+    """
+    period = automaton.start_period
+    arity = automaton.arity
+    full = SymbolSet.full(automaton.bits)
+    wildcard_half = (full,) * arity
+    result_name = name if name is not None else automaton.name + ".x2"
+    result_period = max(1, period // 2)
+
+    src = IndexedAutomaton.from_automaton(automaton, light=True)
+    src_ids = src.ids
+    src_stes = src.stes
+    src_start_kind = src.start_kind
+    src_is_start = src.is_start
+    src_succ = src.succ
+    n = src.n
+
+    # ------------------------------------------------------------------
+    # Creation: parallel (first, second) arrays, in legacy order —
+    # pairs off each source state's raw successor order, then its
+    # remnant, then (period 1 only) one phase state per ALL_INPUT start.
+    # ------------------------------------------------------------------
+    r_first = []   # source index of the first half, -1 for $any
+    r_second = []  # source index of the second half, -1 for $end
+    entry_points = {}  # first-half source index -> row range, in order
+    report_flags = [ste.report for ste in src_stes]
+    row = 0
+    for i in range(n):
+        base = row
+        edges = src_succ[i]  # raw order, as captured by the index
+        if edges:
+            row += len(edges)
+            r_second += edges
+        if report_flags[i]:
+            r_second.append(-1)
+            row += 1
+        if row > base:
+            r_first += (i,) * (row - base)
+            entry_points[i] = range(base, row)
+        # A start state with no successors and no report would be inert, but
+        # a *start* state that only reports is covered by its remnant above.
+    if period == 1:
+        for i in range(n):
+            if src_start_kind[i] is StartKind.ALL_INPUT:
+                r_first.append(-1)
+                r_second.append(i)
+                row += 1
+    m = row
+
+    # Coarse progress: m units for the transition fan-out, m for the
+    # pruning+minimization fixpoint, m for materialization.  Near-free
+    # when no collector is attached and REPRO_PROGRESS is unset.
+    progress = ProgressReporter("transform", 3 * m, detail=result_name)
+
+    # ------------------------------------------------------------------
+    # Transitions: (x, s) -> every state whose first half is in succ(s).
+    # The flattened entry-point list of each second half is built once
+    # and the *same list object* is every such row's successor row
+    # (fan-out order: successors sorted by their string ids, matching
+    # the legacy kernel; row contents are duplicate-free by
+    # construction, so set semantics are unaffected).  One dict maps
+    # every distinct second half to its list, so assigning all m rows is
+    # a single C-level ``map``.
+    # ------------------------------------------------------------------
+    EMPTY = ()
+    succ_entries = {-1: EMPTY}
+    get_entries = entry_points.get
+    for second in set(r_second):
+        if second >= 0:
+            followers = src_succ[second]
+            if len(followers) == 1:
+                # Dominant case (pattern chains): one follower needs no
+                # sort, and its range flattens in C.
+                succ_entries[second] = list(
+                    get_entries(followers[0], EMPTY))
+            else:
+                succ_entries[second] = [
+                    t
+                    for follower in sorted(followers,
+                                           key=src_ids.__getitem__)
+                    for t in get_entries(follower, EMPTY)
+                ]
+    succ_rows = list(map(succ_entries.__getitem__, r_second))
+    progress.update(m // 2)
+
+    # ------------------------------------------------------------------
+    # Prune: forward reachability from start rows (phase states and rows
+    # whose first half is a start state — the same start set the legacy
+    # kernel's Automaton.prune_unreachable walks).
+    # ------------------------------------------------------------------
+    seen = bytearray(m)
+    work = []
+    push = work.append
+    for r, f in enumerate(r_first):
+        if f < 0 or src_is_start[f]:
+            seen[r] = 1
+            push(r)
+    while work:
+        for t in succ_rows[work.pop()]:
+            if not seen[t]:
+                seen[t] = 1
+                push(t)
+    alive_rows = [r for r in range(m) if seen[r]]
+    progress.update(m)
+
+    # Predecessor rows, survivors only (a survivor's successors are all
+    # survivors, so dead rows never need unlinking).
+    pred_rows = [EMPTY] * m
+    for r in alive_rows:
+        for t in succ_rows[r]:
+            p = pred_rows[t]
+            if p:
+                p.append(r)
+            else:
+                pred_rows[t] = [r]
+
+    # Second-half payload — (arity-shifted report offsets, code-if-report,
+    # report flag) — computed once per distinct source state on demand and
+    # shared between behaviour interning and boundary materialization.
+    sec_info = [None] * n
+    ALL_INPUT_KIND = StartKind.ALL_INPUT
+
+    behavior = None
+    is_start_rows = None
+    if minimized:
+        # Behaviour ids for survivors (minimization's screen signature).
+        # Two pair states have equal materialized behavior_key()s exactly
+        # when their first halves agree on (symbols, start) and their
+        # second halves agree on (symbols, shifted offsets, code): the
+        # concatenation split point is fixed at ``arity``, and a
+        # non-reporting STE carries code None by invariant.  So each
+        # half is interned once per *source state* (hashing its symbol
+        # tuple once, lazily) and every row's key is a pure int pair —
+        # probed without Python hash/eq callbacks.  A phase state shares
+        # the first-half entry ``(wildcard, ALL_INPUT)`` with any real
+        # first half it would legally merge with.  Remnants live in
+        # their own ``(-1, id)`` range: their report offsets are below
+        # ``arity`` and non-empty, which no pair or phase state matches.
+        f_intern = {}
+        s_intern = {}
+        rem_intern = {}
+        bfirst = [None] * n
+        bsec = [None] * n
+        bf_any = None
+        behavior_intern = {}
+        behavior = [None] * m
+        is_start_rows = bytearray(m)
+        for r in alive_rows:
+            f = r_first[r]
+            s = r_second[r]
+            if s >= 0:
+                bs = bsec[s]
+                if bs is None:
+                    ste = src_stes[s]
+                    offs = ste.report_offsets
+                    info = sec_info[s] = (
+                        (tuple(arity + o for o in offs),
+                         ste.report_code, True)
+                        if offs else (EMPTY, None, False))
+                    key = (ste.symbols, info[0], info[1])
+                    bs = s_intern.get(key)
+                    if bs is None:
+                        bs = s_intern[key] = len(s_intern)
+                    bsec[s] = bs
+                if f >= 0:
+                    bf = bfirst[f]
+                    if bf is None:
+                        key = (src_stes[f].symbols, src_start_kind[f])
+                        bf = f_intern.get(key)
+                        if bf is None:
+                            bf = f_intern[key] = len(f_intern)
+                        bfirst[f] = bf
+                    started = src_is_start[f]
+                else:
+                    if bf_any is None:
+                        key = (wildcard_half, ALL_INPUT_KIND)
+                        bf_any = f_intern.get(key)
+                        if bf_any is None:
+                            bf_any = f_intern[key] = len(f_intern)
+                    bf = bf_any
+                    started = True
+                bkey = (bf, bs)
+            else:
+                ste = src_stes[f]
+                key = (ste.symbols, ste.start, ste.report_code,
+                       ste.report_offsets)
+                br = rem_intern.get(key)
+                if br is None:
+                    br = rem_intern[key] = len(rem_intern)
+                bkey = (-1, br)
+                started = src_is_start[f]
+            bid = behavior_intern.get(bkey)
+            if bid is None:
+                bid = behavior_intern[bkey] = len(behavior_intern)
+            behavior[r] = bid
+            if started:
+                is_start_rows[r] = 1
+
+    res = IndexedAutomaton.from_parts(
+        result_name, automaton.bits, 2 * arity, result_period,
+        succ_rows, pred_rows, seen,
+        behavior=behavior, is_start=is_start_rows)
+    removed = res.minimize() if minimized else 0
+    alive_final = alive_rows if not removed else res.alive_indices()
+    progress.update(2 * m)
+
+    # ------------------------------------------------------------------
+    # Boundary materialization: id strings and STEs exist only for
+    # surviving states.
+    # ------------------------------------------------------------------
+    rid = [None] * m
+    for r in alive_final:
+        f = r_first[r]
+        s = r_second[r]
+        rid[r] = "(%s|%s)" % (src_ids[f] if f >= 0 else _ANY,
+                              src_ids[s] if s >= 0 else _END)
+    rid_get = rid.__getitem__
+    res_succ = res.succ
+    res_pred = res.pred
+    states = {}
+    succ_d = {}
+    pred_d = {}
+    for r in alive_final:
+        f = r_first[r]
+        s = r_second[r]
+        if s >= 0:
+            info = sec_info[s]
+            if info is None:
+                ste = src_stes[s]
+                offs = ste.report_offsets
+                info = sec_info[s] = (
+                    (tuple(arity + o for o in offs), ste.report_code, True)
+                    if offs else (EMPTY, None, False))
+            offsets, code, report = info
+            if f >= 0:
+                label = src_stes[f].symbols + src_stes[s].symbols
+                start = src_start_kind[f]
+            else:
+                label = wildcard_half + src_stes[s].symbols
+                start = ALL_INPUT_KIND
+        else:
+            ste = src_stes[f]
+            label = ste.symbols + wildcard_half
+            offsets = ste.report_offsets
+            code = ste.report_code
+            start = ste.start
+            report = True
+        state_id = rid[r]
+        states[state_id] = ste_from_canonical(
+            state_id, label, start, report, code, offsets)
+        succ_d[state_id] = set(map(rid_get, res_succ[r]))
+        pred_d[state_id] = set(map(rid_get, res_pred[r]))
+    result = Automaton._from_graph(
+        result_name, automaton.bits, 2 * arity, result_period,
+        states, succ_d, pred_d)
+    progress.finish()
+    if OBS.active:
+        OBS.instruments.transform_states.labels(op="square").set(len(result))
+    # No validate() here: every invariant it checks holds by construction
+    # (canonical STEs from validated sources, mirrored succ/pred rows,
+    # freshly pruned reachability), and the production entry (``square``)
+    # still validates each fresh build.  The differential suite pins the
+    # kernel's output byte-identical to the oracle's.
+    return result
+
+
+@gc_paused
+def square_unindexed(automaton, minimized=True, name=None):
+    """The direct string-graph squaring kernel (differential oracle).
+
+    Builds pair/remnant/phase states straight onto an
+    :class:`Automaton` exactly as the pre-indexed implementation did;
+    :func:`square` routes through the indexed kernel and
+    ``tests/test_indexed.py`` pins the two bit-identical.  Unmemoized —
+    callers wanting the cache go through :func:`square`.
+    """
+    from ..automata.ops import minimize_unindexed
+
     period = automaton.start_period
     arity = automaton.arity
     full = SymbolSet.full(automaton.bits)
@@ -154,8 +468,10 @@ def _square(automaton, minimized, name):
 
     result.prune_unreachable()
     if minimized:
-        minimize(result)
-    return result.validate()
+        minimize_unindexed(result)
+    # Symmetric with the indexed kernel: neither validates, so timing one
+    # against the other compares construction work only.
+    return result
 
 
 def stride(automaton, factor, minimized=True):
@@ -177,7 +493,9 @@ def stride(automaton, factor, minimized=True):
             current = square(
                 current, minimized=minimized and applied >= factor)
         if current is automaton:
-            current = automaton.copy()
+            # Factor 1 is a rename-only pass: share the (immutable)
+            # STEs instead of deep-copying the whole machine.
+            current = automaton.shallow_clone()
         current.name = automaton.name + (".x%d" % factor if factor > 1 else "")
         return current
 
